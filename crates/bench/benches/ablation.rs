@@ -1,0 +1,64 @@
+//! Ablations over the design parameters DESIGN.md calls out: the
+//! local-search window `µ` (paper default 10), the block size `k`
+//! (paper default 3) and the refined-boundary cap (our tractability
+//! guard; `usize::MAX` reproduces the uncapped paper construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cawo_bench::fixtures::fixture;
+use cawo_core::variant::RunParams;
+use cawo_core::Variant;
+use cawo_graph::generator::Family;
+use cawo_platform::DeadlineFactor;
+
+fn bench_mu(c: &mut Criterion) {
+    let f = fixture(Family::Eager, 500, DeadlineFactor::X20, 42);
+    let mut group = c.benchmark_group("ablation_mu");
+    group.sample_size(10);
+    for mu in [0u64, 5, 10, 20, 40] {
+        let params = RunParams {
+            mu,
+            ..RunParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(mu), &params, |b, p| {
+            b.iter(|| black_box(Variant::PressWRLs.run_with(&f.inst, &f.profile, *p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_k(c: &mut Criterion) {
+    let f = fixture(Family::Eager, 500, DeadlineFactor::X20, 42);
+    let mut group = c.benchmark_group("ablation_block_k");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 4] {
+        let params = RunParams {
+            block_k: k,
+            ..RunParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &params, |b, p| {
+            b.iter(|| black_box(Variant::SlackR.run_with(&f.inst, &f.profile, *p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_refine_cap(c: &mut Criterion) {
+    let f = fixture(Family::Eager, 500, DeadlineFactor::X20, 42);
+    let mut group = c.benchmark_group("ablation_refine_cap");
+    group.sample_size(10);
+    for cap in [512usize, 4096, 65_536] {
+        let params = RunParams {
+            refine_cap: cap,
+            ..RunParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &params, |b, p| {
+            b.iter(|| black_box(Variant::SlackWR.run_with(&f.inst, &f.profile, *p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mu, bench_block_k, bench_refine_cap);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Engine micro-benchmarks: the building blocks behind the end-to-end
+//! numbers (instance construction, HEFT, cost evaluation, EST/LST,
+//! subdivision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cawo_bench::fixtures::fixture;
+use cawo_core::subdivision::refined_boundaries;
+use cawo_core::{carbon_cost, Bounds, Instance, PowerGrid};
+use cawo_graph::generator::{generate, Family, GeneratorConfig};
+use cawo_heft::heft_schedule;
+use cawo_platform::{Cluster, DeadlineFactor};
+
+fn bench_components(c: &mut Criterion) {
+    let wf = generate(&GeneratorConfig::new(Family::Atacseq, 1_000, 42));
+    let cluster = Cluster::paper_small(42);
+
+    c.bench_function("heft_1000", |b| {
+        b.iter(|| black_box(heft_schedule(&wf, &cluster)));
+    });
+
+    let mapping = heft_schedule(&wf, &cluster);
+    c.bench_function("instance_build_1000", |b| {
+        b.iter(|| black_box(Instance::build(&wf, &cluster, &mapping)));
+    });
+
+    let f = fixture(Family::Atacseq, 1_000, DeadlineFactor::X15, 42);
+    let asap = f.inst.asap_schedule();
+    c.bench_function("asap_schedule_1000", |b| {
+        b.iter(|| black_box(f.inst.asap_schedule()));
+    });
+    c.bench_function("carbon_cost_sweep_1000", |b| {
+        b.iter(|| black_box(carbon_cost(&f.inst, &asap, &f.profile)));
+    });
+    c.bench_function("power_grid_build_1000", |b| {
+        b.iter(|| black_box(PowerGrid::new(&f.inst, &asap, &f.profile)));
+    });
+    c.bench_function("bounds_init_1000", |b| {
+        b.iter(|| black_box(Bounds::new(&f.inst, f.profile.deadline())));
+    });
+    c.bench_function("refined_boundaries_1000_k3", |b| {
+        b.iter(|| black_box(refined_boundaries(&f.inst, &f.profile, 3, 4096)));
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 13: running time as the deadline tolerance grows. The paper
+//! observes only a slight increase — the heuristics are driven by graph
+//! structure, not the horizon length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cawo_bench::fixtures::fixture;
+use cawo_core::Variant;
+use cawo_graph::generator::Family;
+use cawo_platform::DeadlineFactor;
+
+fn bench_deadlines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_deadline_tolerance");
+    group.sample_size(10);
+    for d in DeadlineFactor::ALL {
+        let f = fixture(Family::Eager, 1_000, d, 42);
+        for v in [Variant::SlackLs, Variant::PressWRLs] {
+            group.bench_with_input(
+                BenchmarkId::new(v.name(), format!("x{}", d.as_f64())),
+                &v,
+                |b, &v| b.iter(|| black_box(v.run(&f.inst, &f.profile))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deadlines);
+criterion_main!(benches);

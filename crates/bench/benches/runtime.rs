@@ -1,0 +1,25 @@
+//! Figure 8: wall-clock time of every algorithm variant on a standard
+//! instance (atacseq-1000, small cluster, S1, deadline 1.5×).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cawo_bench::fixtures::fixture;
+use cawo_core::Variant;
+use cawo_graph::generator::Family;
+use cawo_platform::DeadlineFactor;
+
+fn bench_variants(c: &mut Criterion) {
+    let f = fixture(Family::Atacseq, 1_000, DeadlineFactor::X15, 42);
+    let mut group = c.benchmark_group("fig8_runtime");
+    group.sample_size(10);
+    for v in Variant::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
+            b.iter(|| black_box(v.run(&f.inst, &f.profile)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

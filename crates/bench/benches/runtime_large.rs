@@ -1,0 +1,30 @@
+//! Figure 12: running time on large workflows. Default sizes are
+//! CI-friendly (2k/4k); set `CAWO_BENCH_SIZES=20000,30000` for the
+//! paper-scale measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cawo_bench::fixtures::{fixture, large_sizes};
+use cawo_core::Variant;
+use cawo_graph::generator::Family;
+use cawo_platform::DeadlineFactor;
+
+fn bench_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_runtime_large");
+    group.sample_size(10);
+    for tasks in large_sizes() {
+        let f = fixture(Family::Methylseq, tasks, DeadlineFactor::X15, 42);
+        // The representative extremes: cheapest (ASAP), the pure greedy,
+        // and the most expensive (refined + weighted + local search).
+        for v in [Variant::Asap, Variant::Slack, Variant::PressWRLs] {
+            group.bench_with_input(BenchmarkId::new(v.name(), tasks), &v, |b, &v| {
+                b.iter(|| black_box(v.run(&f.inst, &f.profile)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_large);
+criterion_main!(benches);

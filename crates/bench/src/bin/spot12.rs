@@ -1,0 +1,27 @@
+use cawo_bench::fixtures::fixture;
+use cawo_core::Variant;
+use cawo_graph::generator::Family;
+use cawo_platform::DeadlineFactor;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let f = fixture(Family::Methylseq, 30_000, DeadlineFactor::X30, 42);
+    eprintln!(
+        "setup (gen+HEFT+Gc+profile): {:.1}s, Gc nodes {}",
+        t0.elapsed().as_secs_f64(),
+        f.inst.node_count()
+    );
+    for v in [
+        Variant::Asap,
+        Variant::Slack,
+        Variant::SlackR,
+        Variant::PressWRLs,
+    ] {
+        let t = Instant::now();
+        let s = v.run(&f.inst, &f.profile);
+        let dt = t.elapsed().as_secs_f64();
+        s.validate(&f.inst, f.profile.deadline()).unwrap();
+        eprintln!("{:<12} {:>8.3}s", v.name(), dt);
+    }
+}

@@ -1,0 +1,42 @@
+//! Instance construction shared by every bench target.
+
+use cawo_core::Instance;
+use cawo_graph::generator::{generate, Family, GeneratorConfig};
+use cawo_heft::heft_schedule;
+use cawo_platform::{Cluster, DeadlineFactor, PowerProfile, ProfileConfig, Scenario};
+
+/// A fully prepared scheduling problem.
+pub struct Fixture {
+    /// The communication-enhanced instance.
+    pub inst: Instance,
+    /// The platform.
+    pub cluster: Cluster,
+    /// The power profile.
+    pub profile: PowerProfile,
+}
+
+/// Builds the standard bench fixture: a workflow of `tasks` tasks on the
+/// paper's small cluster under an S1 profile.
+pub fn fixture(family: Family, tasks: usize, deadline: DeadlineFactor, seed: u64) -> Fixture {
+    let wf = generate(&GeneratorConfig::new(family, tasks, seed));
+    let cluster = Cluster::paper_small(seed);
+    let mapping = heft_schedule(&wf, &cluster);
+    let inst = Instance::build(&wf, &cluster, &mapping);
+    let profile = ProfileConfig::new(Scenario::SolarMorning, deadline, seed)
+        .build(&cluster, inst.asap_makespan());
+    Fixture {
+        inst,
+        cluster,
+        profile,
+    }
+}
+
+/// Workflow sizes for the large-workflow bench; override the default
+/// with `CAWO_BENCH_SIZES="8000,20000"` to reproduce the paper-scale
+/// Fig. 12 measurement.
+pub fn large_sizes() -> Vec<usize> {
+    match std::env::var("CAWO_BENCH_SIZES") {
+        Ok(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Err(_) => vec![2_000, 4_000],
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared fixtures for the CaWoSched criterion benches.
+//!
+//! The benches regenerate the paper's timing artifacts:
+//!
+//! | bench               | paper artifact                             |
+//! |---------------------|--------------------------------------------|
+//! | `runtime`           | Fig. 8 — time per algorithm variant        |
+//! | `runtime_large`     | Fig. 12 — large workflows only             |
+//! | `deadline_tolerance`| Fig. 13 — time vs deadline factor          |
+//! | `components`        | engine micro-benchmarks (not in the paper) |
+//! | `ablation`          | parameter ablations (µ, k, refine cap)     |
+
+#![warn(missing_docs)]
+
+pub mod fixtures;

@@ -1,0 +1,322 @@
+//! Earliest and latest start times (EST / LST) with dynamic updates.
+//!
+//! §5.2: `EST` is computed Kahn-style from the sources; `LST(v)` starts
+//! at `T - ω(v)` and is relaxed backwards. After the greedy fixes a task
+//! at a start time, both bounds of the remaining tasks must be updated —
+//! "these updates have to be made possibly for the whole graph, and we
+//! use a precomputed topological order for this". This implementation
+//! propagates changes with worklists ordered by topological position, so
+//! the worst case matches the paper's `O(n + |Ec|)` while typical updates
+//! touch only the affected region.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cawo_graph::NodeId;
+use cawo_platform::Time;
+
+use crate::enhanced::Instance;
+
+/// Dynamic EST/LST state over an instance.
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    est: Vec<Time>,
+    lst: Vec<Time>,
+    scheduled: Vec<bool>,
+    /// Topological position of every node (for ordered propagation).
+    topo_pos: Vec<u32>,
+    deadline: Time,
+}
+
+impl Bounds {
+    /// Computes initial EST/LST for deadline `T`. Requires
+    /// `T >= asap makespan`, otherwise some `LST < EST` (check with
+    /// [`Bounds::is_feasible`]).
+    pub fn new(inst: &Instance, deadline: Time) -> Self {
+        let n = inst.node_count();
+        let mut est = vec![0 as Time; n];
+        for &u in inst.topo_order() {
+            let f = est[u as usize] + inst.exec(u);
+            for &v in inst.dag().successors(u) {
+                est[v as usize] = est[v as usize].max(f);
+            }
+        }
+        let mut lst: Vec<Time> = (0..n as NodeId)
+            .map(|v| deadline.saturating_sub(inst.exec(v)))
+            .collect();
+        for &v in inst.topo_order().iter().rev() {
+            for &u in inst.dag().predecessors(v) {
+                let cand = lst[v as usize].saturating_sub(inst.exec(u));
+                lst[u as usize] = lst[u as usize].min(cand);
+            }
+        }
+        let mut topo_pos = vec![0u32; n];
+        for (i, &v) in inst.topo_order().iter().enumerate() {
+            topo_pos[v as usize] = i as u32;
+        }
+        Bounds {
+            est,
+            lst,
+            scheduled: vec![false; n],
+            topo_pos,
+            deadline,
+        }
+    }
+
+    /// Earliest start time of `v` (its fixed start once scheduled).
+    pub fn est(&self, v: NodeId) -> Time {
+        self.est[v as usize]
+    }
+
+    /// Latest start time of `v` (its fixed start once scheduled).
+    pub fn lst(&self, v: NodeId) -> Time {
+        self.lst[v as usize]
+    }
+
+    /// Slack `s(v) = LST(v) - EST(v)` (§5.2).
+    pub fn slack(&self, v: NodeId) -> Time {
+        self.lst[v as usize].saturating_sub(self.est[v as usize])
+    }
+
+    /// Whether `v` has been fixed.
+    pub fn is_scheduled(&self, v: NodeId) -> bool {
+        self.scheduled[v as usize]
+    }
+
+    /// The deadline these bounds were computed for.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// True iff every node satisfies `EST <= LST` and can still finish by
+    /// the deadline — i.e. the deadline is achievable (it is iff
+    /// `T >= ASAP makespan`). The explicit finish check guards against
+    /// the saturating `T - ω(v)` initialisation masking `ω(v) > T`.
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        (0..self.est.len() as NodeId).all(|v| {
+            let e = self.est[v as usize];
+            e <= self.lst[v as usize] && e + inst.exec(v) <= self.deadline
+        })
+    }
+
+    /// Fixes task `v` to start at `start ∈ [EST(v), LST(v)]` and
+    /// propagates the tightened bounds through the graph.
+    pub fn fix(&mut self, inst: &Instance, v: NodeId, start: Time) {
+        debug_assert!(!self.scheduled[v as usize], "task fixed twice");
+        debug_assert!(
+            start >= self.est[v as usize] && start <= self.lst[v as usize],
+            "start {start} outside [{}, {}] for node {v}",
+            self.est[v as usize],
+            self.lst[v as usize]
+        );
+        self.scheduled[v as usize] = true;
+        self.est[v as usize] = start;
+        self.lst[v as usize] = start;
+
+        // Forward: raise EST of (transitive) successors.
+        let mut fwd: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
+        for &s in inst.dag().successors(v) {
+            fwd.push(Reverse((self.topo_pos[s as usize], s)));
+        }
+        let mut last: Option<NodeId> = None;
+        while let Some(Reverse((_, w))) = fwd.pop() {
+            if last == Some(w) {
+                continue; // deduplicate heap entries
+            }
+            last = Some(w);
+            if self.scheduled[w as usize] {
+                continue;
+            }
+            let mut e = 0;
+            for &u in inst.dag().predecessors(w) {
+                e = e.max(self.est[u as usize] + inst.exec(u));
+            }
+            if e > self.est[w as usize] {
+                self.est[w as usize] = e;
+                for &s in inst.dag().successors(w) {
+                    fwd.push(Reverse((self.topo_pos[s as usize], s)));
+                }
+            }
+        }
+
+        // Backward: lower LST of (transitive) predecessors.
+        let mut bwd: BinaryHeap<(u32, NodeId)> = BinaryHeap::new();
+        for &p in inst.dag().predecessors(v) {
+            bwd.push((self.topo_pos[p as usize], p));
+        }
+        let mut last: Option<NodeId> = None;
+        while let Some((_, w)) = bwd.pop() {
+            if last == Some(w) {
+                continue;
+            }
+            last = Some(w);
+            if self.scheduled[w as usize] {
+                continue;
+            }
+            let mut l = self.deadline.saturating_sub(inst.exec(w));
+            for &s in inst.dag().successors(w) {
+                l = l.min(self.lst[s as usize].saturating_sub(inst.exec(w)));
+            }
+            if l < self.lst[w as usize] {
+                self.lst[w as usize] = l;
+                for &p in inst.dag().predecessors(w) {
+                    bwd.push((self.topo_pos[p as usize], p));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enhanced::UnitInfo;
+    use cawo_graph::dag::DagBuilder;
+
+    /// Chain 0 -> 1 -> 2 with exec 5, 3, 2 on one unit.
+    fn chain() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        Instance::from_raw(
+            b.build().unwrap(),
+            vec![5, 3, 2],
+            vec![0, 0, 0],
+            vec![UnitInfo {
+                p_idle: 0,
+                p_work: 1,
+                is_link: false,
+            }],
+            0,
+        )
+    }
+
+    /// Diamond with two parallel middle tasks on separate units.
+    fn diamond() -> Instance {
+        let mut b = DagBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        Instance::from_raw(
+            b.build().unwrap(),
+            vec![2, 6, 3, 2],
+            vec![0, 0, 1, 0],
+            vec![
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 1,
+                    is_link: false,
+                },
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 1,
+                    is_link: false,
+                },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn initial_bounds_on_chain() {
+        let inst = chain();
+        let b = Bounds::new(&inst, 15);
+        assert_eq!((b.est(0), b.est(1), b.est(2)), (0, 5, 8));
+        assert_eq!((b.lst(0), b.lst(1), b.lst(2)), (5, 10, 13));
+        assert_eq!(b.slack(0), 5);
+        assert!(b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn tight_deadline_has_zero_slack() {
+        let inst = chain();
+        let b = Bounds::new(&inst, 10); // ASAP makespan
+        for v in 0..3 {
+            assert_eq!(b.slack(v), 0);
+            assert_eq!(b.est(v), b.lst(v));
+        }
+        assert!(b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn infeasible_deadline_detected() {
+        let inst = chain();
+        let b = Bounds::new(&inst, 9);
+        assert!(!b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn diamond_bounds() {
+        let inst = diamond();
+        // ASAP: 0 at 0, 1 at 2, 2 at 2, 3 at 8 ⇒ makespan 10.
+        let b = Bounds::new(&inst, 12);
+        assert_eq!(b.est(3), 8);
+        assert_eq!(b.lst(3), 10);
+        // Task 2 (exec 3) must finish before 3 starts: LST = LST(3)-3 = 7.
+        assert_eq!(b.lst(2), 7);
+        assert_eq!(b.slack(2), 5);
+        // Critical path 0->1->3 has slack 2 everywhere.
+        assert_eq!(b.slack(0), 2);
+        assert_eq!(b.slack(1), 2);
+    }
+
+    #[test]
+    fn fix_propagates_forward() {
+        let inst = chain();
+        let mut b = Bounds::new(&inst, 15);
+        b.fix(&inst, 0, 3); // push task 0 to its latest-3
+        assert!(b.is_scheduled(0));
+        assert_eq!(b.est(0), 3);
+        assert_eq!(b.lst(0), 3);
+        assert_eq!(b.est(1), 8);
+        assert_eq!(b.est(2), 11);
+        assert!(b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn fix_propagates_backward() {
+        let inst = chain();
+        let mut b = Bounds::new(&inst, 15);
+        b.fix(&inst, 2, 8); // earliest allowed for task 2
+        assert_eq!(b.lst(1), 5);
+        assert_eq!(b.lst(0), 0);
+        assert!(b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn fix_middle_tightens_both_sides() {
+        let inst = diamond();
+        let mut b = Bounds::new(&inst, 12);
+        b.fix(&inst, 1, 4);
+        assert_eq!(b.lst(0), 2); // 0 must finish by 4
+        assert_eq!(b.est(3), 10); // 3 must wait for 1's finish at 10
+        assert!(b.is_feasible(&inst));
+    }
+
+    #[test]
+    fn fixing_all_tasks_yields_valid_schedule() {
+        use crate::schedule::Schedule;
+        let inst = diamond();
+        let mut b = Bounds::new(&inst, 14);
+        // Fix in an arbitrary (non-topological) order, always inside
+        // [EST, LST]; the result must be a valid schedule.
+        for &v in &[3u32, 0, 2, 1] {
+            let s = (b.est(v) + b.lst(v)) / 2;
+            b.fix(&inst, v, s);
+        }
+        let starts: Vec<Time> = (0..4).map(|v| b.est(v)).collect();
+        let sched = Schedule::new(starts);
+        assert!(sched.validate(&inst, 14).is_ok());
+    }
+
+    #[test]
+    fn scheduled_nodes_do_not_move() {
+        let inst = chain();
+        let mut b = Bounds::new(&inst, 20);
+        b.fix(&inst, 1, 9);
+        let est1 = b.est(1);
+        b.fix(&inst, 0, 4);
+        assert_eq!(b.est(1), est1, "fixed task must not be re-bounded");
+    }
+}

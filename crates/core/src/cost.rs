@@ -1,0 +1,607 @@
+//! Carbon cost of a schedule.
+//!
+//! §3 defines the carbon cost at time `t` as
+//! `CC_t = max(P_t - G_j, 0)` where `P_t` sums idle power of *all*
+//! processors (compute and links) plus working power of the active ones,
+//! and `G_j` is the green budget of the interval containing `t`. The
+//! total cost is `Σ_t CC_t`.
+//!
+//! Because total idle power is constant in time, only the *working* power
+//! varies with the schedule; we work with
+//! `CC_t = max(W(t) - d(t), 0)`, `d(t) = G_j - Σ P_idle` (possibly
+//! negative in general instances, although §6.1's generation rule keeps
+//! it non-negative).
+//!
+//! Three equivalent evaluators are provided:
+//!
+//! * [`carbon_cost`] — the polynomial interval/subinterval sweep of
+//!   Appendix A.1 (`O((N + J) log N)`), used for all reported costs,
+//! * [`carbon_cost_naive`] — the pseudo-polynomial per-time-unit loop
+//!   from §3, kept as a test oracle,
+//! * [`PowerGrid`] — a per-time-unit working-power array supporting O(1)
+//!   per-time-unit move deltas, powering the local search (§5.3).
+
+use cawo_graph::NodeId;
+use cawo_platform::{PowerProfile, Time};
+
+use crate::enhanced::Instance;
+use crate::schedule::Schedule;
+
+/// Total carbon cost (green-budget overshoot integrated over time).
+pub type Cost = u64;
+
+/// Polynomial-time cost evaluation (Appendix A.1).
+///
+/// Sweeps the merged breakpoints of task starts/ends and interval
+/// boundaries; within each produced subinterval both the working power
+/// and the budget are constant. Time past the profile's deadline (only
+/// possible for invalid schedules) is costed with budget 0.
+pub fn carbon_cost(inst: &Instance, sched: &Schedule, profile: &PowerProfile) -> Cost {
+    let n = inst.node_count();
+    let mut events: Vec<(Time, i64)> = Vec::with_capacity(2 * n);
+    for v in 0..n as NodeId {
+        let w = inst.work_power(v) as i64;
+        if w == 0 {
+            continue;
+        }
+        let s = sched.start(v);
+        events.push((s, w));
+        events.push((s + inst.exec(v), -w));
+    }
+    events.sort_unstable();
+
+    let idle = inst.total_idle_power() as i64;
+    let boundaries = profile.boundaries();
+    let deadline = profile.deadline();
+
+    let mut cost: u128 = 0;
+    let mut work: i64 = 0;
+    let mut t: Time = 0;
+    let mut ei = 0; // next event
+    let mut bi = 1; // next boundary (boundaries[0] == 0)
+    let end = events.last().map_or(deadline, |&(te, _)| te.max(deadline));
+    while t < end {
+        // Apply all events at time t.
+        while ei < events.len() && events[ei].0 == t {
+            work += events[ei].1;
+            ei += 1;
+        }
+        // Next breakpoint: next event or next interval boundary.
+        let next_event = events.get(ei).map_or(Time::MAX, |&(te, _)| te);
+        let next_boundary = if bi < boundaries.len() {
+            boundaries[bi]
+        } else {
+            Time::MAX
+        };
+        let next = next_event.min(next_boundary).min(end);
+        debug_assert!(next > t);
+        let budget = if t < deadline {
+            profile.budget_at(t) as i64
+        } else {
+            0
+        };
+        let over = (idle + work - budget).max(0) as u128;
+        cost += over * (next - t) as u128;
+        if next == next_boundary {
+            bi += 1;
+        }
+        t = next;
+    }
+    // Drain end-of-horizon events (zero-length remainder, no cost).
+    while ei < events.len() {
+        debug_assert_eq!(events[ei].0, t);
+        work += events[ei].1;
+        ei += 1;
+    }
+    debug_assert_eq!(work, 0, "every started task must end");
+    Cost::try_from(cost).expect("carbon cost fits in u64")
+}
+
+/// Pseudo-polynomial oracle: materialises working power per time unit and
+/// sums `max(P_t - G_t, 0)` exactly as §3 writes it. Quadratic-ish in the
+/// horizon; use only in tests.
+pub fn carbon_cost_naive(inst: &Instance, sched: &Schedule, profile: &PowerProfile) -> Cost {
+    let deadline = profile.deadline();
+    let horizon = (0..inst.node_count() as NodeId)
+        .map(|v| sched.finish(v, inst))
+        .max()
+        .unwrap_or(0)
+        .max(deadline) as usize;
+    let mut diff = vec![0i64; horizon + 1];
+    for v in 0..inst.node_count() as NodeId {
+        let w = inst.work_power(v) as i64;
+        diff[sched.start(v) as usize] += w;
+        diff[sched.finish(v, inst) as usize] -= w;
+    }
+    let idle = inst.total_idle_power() as i64;
+    let mut work = 0i64;
+    let mut cost: u128 = 0;
+    #[allow(clippy::needless_range_loop)] // indices double as time units
+    for t in 0..horizon {
+        work += diff[t];
+        let budget = if (t as Time) < deadline {
+            profile.budget_at(t as Time) as i64
+        } else {
+            0
+        };
+        cost += (idle + work - budget).max(0) as u128;
+    }
+    Cost::try_from(cost).expect("carbon cost fits in u64")
+}
+
+/// Per-time-unit working-power grid with O(1) single-unit updates.
+///
+/// The local search evaluates O(µ) candidate moves per task; each
+/// candidate's cost delta only touches the symmetric difference of the
+/// old and new execution windows, so with this grid a candidate is
+/// evaluated in `O(|shift|)` instead of re-costing the entire schedule.
+#[derive(Debug, Clone)]
+pub struct PowerGrid {
+    /// Working power per time unit.
+    work: Vec<i32>,
+    /// `d(t) = G(t) - Σ P_idle` per time unit (may be negative).
+    headroom: Vec<i32>,
+    horizon: Time,
+}
+
+impl PowerGrid {
+    /// Builds the grid for `sched` over the profile's horizon. The
+    /// schedule must respect the deadline.
+    pub fn new(inst: &Instance, sched: &Schedule, profile: &PowerProfile) -> Self {
+        let horizon = profile.deadline();
+        let idle = inst.total_idle_power() as i64;
+        let mut work = vec![0i32; horizon as usize];
+        for v in 0..inst.node_count() as NodeId {
+            let w = inst.work_power(v) as i32;
+            let s = sched.start(v) as usize;
+            let e = sched.finish(v, inst) as usize;
+            debug_assert!(e <= horizon as usize, "schedule exceeds profile horizon");
+            for slot in &mut work[s..e] {
+                *slot += w;
+            }
+        }
+        let mut headroom = vec![0i32; horizon as usize];
+        for j in 0..profile.interval_count() {
+            let (b, e) = profile.interval_span(j);
+            let d = profile.budget(j) as i64 - idle;
+            let d = i32::try_from(d).expect("headroom fits in i32");
+            for slot in &mut headroom[b as usize..e as usize] {
+                *slot = d;
+            }
+        }
+        PowerGrid {
+            work,
+            headroom,
+            horizon,
+        }
+    }
+
+    /// Horizon length `T`.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Cost contribution of one time unit.
+    #[inline]
+    fn unit_cost(&self, t: usize) -> i64 {
+        (self.work[t] as i64 - self.headroom[t] as i64).max(0)
+    }
+
+    /// Cost contribution of one time unit if its working power changed by
+    /// `delta`.
+    #[inline]
+    fn unit_cost_with(&self, t: usize, delta: i32) -> i64 {
+        ((self.work[t] + delta) as i64 - self.headroom[t] as i64).max(0)
+    }
+
+    /// Total cost under the current grid.
+    pub fn total_cost(&self) -> Cost {
+        let mut c: i64 = 0;
+        for t in 0..self.work.len() {
+            c += self.unit_cost(t);
+        }
+        c as Cost
+    }
+
+    /// Cost change if a task of working power `w` and length `len`
+    /// currently executing in `[start, start+len)` moved to
+    /// `[new_start, new_start+len)`. Negative = improvement.
+    pub fn shift_delta(&self, start: Time, len: Time, w: i32, new_start: Time) -> i64 {
+        if start == new_start || w == 0 {
+            return 0;
+        }
+        debug_assert!(new_start + len <= self.horizon);
+        let (s0, e0) = (start, start + len);
+        let (s1, e1) = (new_start, new_start + len);
+        let mut delta = 0i64;
+        // Time units vacated by the move: in [s0, e0) but not [s1, e1).
+        for t in range_difference(s0, e0, s1, e1) {
+            delta += self.unit_cost_with(t as usize, -w) - self.unit_cost(t as usize);
+        }
+        // Time units newly occupied: in [s1, e1) but not [s0, e0).
+        for t in range_difference(s1, e1, s0, e0) {
+            delta += self.unit_cost_with(t as usize, w) - self.unit_cost(t as usize);
+        }
+        delta
+    }
+
+    /// Applies the move evaluated by [`PowerGrid::shift_delta`].
+    pub fn apply_shift(&mut self, start: Time, len: Time, w: i32, new_start: Time) {
+        if start == new_start || w == 0 {
+            return;
+        }
+        for t in range_difference(start, start + len, new_start, new_start + len) {
+            self.work[t as usize] -= w;
+        }
+        for t in range_difference(new_start, new_start + len, start, start + len) {
+            self.work[t as usize] += w;
+        }
+    }
+}
+
+/// Iterates over `[a, b) \ [c, d)` (at most two disjoint runs, returned
+/// as a chained iterator).
+fn range_difference(a: Time, b: Time, c: Time, d: Time) -> impl Iterator<Item = Time> {
+    let left = a..b.min(c.max(a));
+    let right = a.max(d.min(b))..b;
+    left.chain(right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enhanced::UnitInfo;
+    use cawo_graph::dag::DagBuilder;
+    use cawo_platform::PowerProfile;
+
+    /// Two independent tasks on two units: exec 4 & 2, work power 10 & 5.
+    fn two_task_instance() -> Instance {
+        let dag = DagBuilder::new(2).build().unwrap();
+        Instance::from_raw(
+            dag,
+            vec![4, 2],
+            vec![0, 1],
+            vec![
+                UnitInfo {
+                    p_idle: 3,
+                    p_work: 10,
+                    is_link: false,
+                },
+                UnitInfo {
+                    p_idle: 2,
+                    p_work: 5,
+                    is_link: false,
+                },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn cost_hand_computed() {
+        let inst = two_task_instance();
+        // Idle = 5. Profile: [0,4) budget 10, [4,8) budget 6.
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![10, 6]);
+        // Task 0 at 0..4 (power 10), task 1 at 4..6 (power 5).
+        let s = Schedule::new(vec![0, 4]);
+        // t in [0,4): P = 5+10 = 15, G = 10 ⇒ 5/unit ⇒ 20.
+        // t in [4,6): P = 5+5 = 10, G = 6 ⇒ 4/unit ⇒ 8.
+        // t in [6,8): P = 5, G = 6 ⇒ 0.
+        assert_eq!(carbon_cost(&inst, &s, &profile), 28);
+        assert_eq!(carbon_cost_naive(&inst, &s, &profile), 28);
+    }
+
+    #[test]
+    fn overlapping_tasks_sum_power() {
+        let inst = two_task_instance();
+        let profile = PowerProfile::from_parts(vec![0, 8], vec![10]);
+        let s = Schedule::new(vec![0, 0]);
+        // [0,2): 5+15 − 10 = 10 ⇒ 20; [2,4): 5+10 − 10 = 5 ⇒ 10; rest 0.
+        assert_eq!(carbon_cost(&inst, &s, &profile), 30);
+        assert_eq!(carbon_cost_naive(&inst, &s, &profile), 30);
+    }
+
+    #[test]
+    fn zero_cost_when_budget_suffices() {
+        let inst = two_task_instance();
+        let profile = PowerProfile::uniform(10, 100);
+        let s = Schedule::new(vec![0, 5]);
+        assert_eq!(carbon_cost(&inst, &s, &profile), 0);
+    }
+
+    #[test]
+    fn budget_below_idle_is_charged() {
+        // General-case handling: G < Σ P_idle ⇒ idle overflow is costed.
+        let inst = two_task_instance(); // idle 5
+        let profile = PowerProfile::uniform(10, 3);
+        let s = Schedule::new(vec![0, 4]);
+        // [0,4): 15−3=12 ⇒48. [4,6): 10−3=7 ⇒14. [6,10): 5−3=2 ⇒8.
+        assert_eq!(carbon_cost(&inst, &s, &profile), 70);
+        assert_eq!(carbon_cost_naive(&inst, &s, &profile), 70);
+    }
+
+    #[test]
+    fn sweep_matches_naive_on_random_schedules() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            // Random instance: 6 independent tasks, varied powers.
+            let dag = DagBuilder::new(6).build().unwrap();
+            let units: Vec<UnitInfo> = (0..6)
+                .map(|_| UnitInfo {
+                    p_idle: rng.gen_range(0..5),
+                    p_work: rng.gen_range(1..20),
+                    is_link: false,
+                })
+                .collect();
+            let exec: Vec<Time> = (0..6).map(|_| rng.gen_range(1..10)).collect();
+            let inst = Instance::from_raw(dag, exec.clone(), (0..6).collect(), units, 0);
+            let boundaries = {
+                let mut b = vec![0 as Time];
+                let mut t = 0;
+                for _ in 0..4 {
+                    t += rng.gen_range(5..15);
+                    b.push(t);
+                }
+                b
+            };
+            let deadline = *boundaries.last().unwrap();
+            let budgets = (0..4).map(|_| rng.gen_range(0..40)).collect();
+            let profile = PowerProfile::from_parts(boundaries, budgets);
+            let starts: Vec<Time> = (0..6)
+                .map(|v| rng.gen_range(0..=(deadline - exec[v])))
+                .collect();
+            let s = Schedule::new(starts);
+            assert_eq!(
+                carbon_cost(&inst, &s, &profile),
+                carbon_cost_naive(&inst, &s, &profile)
+            );
+        }
+    }
+
+    #[test]
+    fn grid_total_matches_sweep() {
+        let inst = two_task_instance();
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![10, 6]);
+        let s = Schedule::new(vec![0, 4]);
+        let grid = PowerGrid::new(&inst, &s, &profile);
+        // Grid counts only the work-vs-headroom overshoot; with
+        // G >= idle here that's the same as the carbon cost.
+        assert_eq!(grid.total_cost(), carbon_cost(&inst, &s, &profile));
+    }
+
+    #[test]
+    fn grid_shift_delta_matches_recost() {
+        let inst = two_task_instance();
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![12, 18]);
+        let s = Schedule::new(vec![0, 0]);
+        let grid = PowerGrid::new(&inst, &s, &profile);
+        // Move task 0 (len 4, w 10) from 0 to each feasible start.
+        for ns in 0..=4 as Time {
+            let mut s2 = s.clone();
+            s2.set_start(0, ns);
+            let expected =
+                carbon_cost(&inst, &s2, &profile) as i64 - carbon_cost(&inst, &s, &profile) as i64;
+            assert_eq!(grid.shift_delta(0, 4, 10, ns), expected, "ns={ns}");
+        }
+    }
+
+    #[test]
+    fn grid_apply_then_total_is_consistent() {
+        let inst = two_task_instance();
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![12, 18]);
+        let mut s = Schedule::new(vec![0, 0]);
+        let mut grid = PowerGrid::new(&inst, &s, &profile);
+        let before = grid.total_cost() as i64;
+        let delta = grid.shift_delta(0, 4, 10, 3);
+        grid.apply_shift(0, 4, 10, 3);
+        s.set_start(0, 3);
+        assert_eq!(grid.total_cost() as i64, before + delta);
+        assert_eq!(grid.total_cost(), carbon_cost(&inst, &s, &profile));
+    }
+
+    #[test]
+    fn range_difference_cases() {
+        let collect = |a, b, c, d| range_difference(a, b, c, d).collect::<Vec<_>>();
+        // Disjoint.
+        assert_eq!(collect(0, 3, 5, 8), vec![0, 1, 2]);
+        // Overlap right.
+        assert_eq!(collect(0, 5, 3, 8), vec![0, 1, 2]);
+        // Overlap left.
+        assert_eq!(collect(3, 8, 0, 5), vec![5, 6, 7]);
+        // Contained: nothing left.
+        assert_eq!(collect(2, 4, 0, 8), Vec::<Time>::new());
+        // Contains: both sides (shift by more than len would hit this).
+        assert_eq!(collect(0, 8, 2, 4), vec![0, 1, 4, 5, 6, 7]);
+        // Identical.
+        assert_eq!(collect(1, 4, 1, 4), Vec::<Time>::new());
+    }
+
+    #[test]
+    fn zero_power_shift_is_free() {
+        let inst = two_task_instance();
+        let profile = PowerProfile::uniform(10, 0);
+        let s = Schedule::new(vec![0, 0]);
+        let grid = PowerGrid::new(&inst, &s, &profile);
+        assert_eq!(grid.shift_delta(0, 4, 0, 6), 0);
+    }
+}
+
+/// Energy accounting of a schedule: where every unit of energy came
+/// from. `green + brown` equals the platform's total energy demand, and
+/// `brown` equals [`carbon_cost`] — the paper's objective is exactly the
+/// brown share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnergyReport {
+    /// Energy drawn from the green budget.
+    pub green: u64,
+    /// Energy drawn above the budget (= the carbon cost).
+    pub brown: u64,
+    /// Green budget that went unused.
+    pub wasted_green: u64,
+    /// Share of demand that was idle power (schedule-independent).
+    pub idle_energy: u64,
+    /// Share of demand from working power (schedule-dependent).
+    pub work_energy: u64,
+}
+
+impl EnergyReport {
+    /// Total platform energy demand over the horizon.
+    pub fn total_demand(&self) -> u64 {
+        self.green + self.brown
+    }
+
+    /// Fraction of demand covered by green energy (1.0 when demand is 0).
+    pub fn green_fraction(&self) -> f64 {
+        let d = self.total_demand();
+        if d == 0 {
+            1.0
+        } else {
+            self.green as f64 / d as f64
+        }
+    }
+}
+
+/// Computes the full energy breakdown with the interval-sweep engine.
+/// The schedule must fit the profile horizon.
+pub fn energy_report(inst: &Instance, sched: &Schedule, profile: &PowerProfile) -> EnergyReport {
+    let n = inst.node_count();
+    let mut events: Vec<(Time, i64)> = Vec::with_capacity(2 * n);
+    let mut work_energy: u128 = 0;
+    for v in 0..n as NodeId {
+        let w = inst.work_power(v) as i64;
+        if w == 0 {
+            continue;
+        }
+        let s = sched.start(v);
+        events.push((s, w));
+        events.push((s + inst.exec(v), -w));
+        work_energy += (w as u128) * inst.exec(v) as u128;
+    }
+    events.sort_unstable();
+
+    let idle = inst.total_idle_power() as i64;
+    let deadline = profile.deadline();
+    let idle_energy = idle as u128 * deadline as u128;
+
+    let mut green: u128 = 0;
+    let mut brown: u128 = 0;
+    let mut wasted: u128 = 0;
+    let mut work: i64 = 0;
+    let mut t: Time = 0;
+    let mut ei = 0;
+    let boundaries = profile.boundaries();
+    let mut bi = 1;
+    while t < deadline {
+        while ei < events.len() && events[ei].0 == t {
+            work += events[ei].1;
+            ei += 1;
+        }
+        let next_event = events.get(ei).map_or(Time::MAX, |&(te, _)| te);
+        let next_boundary = if bi < boundaries.len() {
+            boundaries[bi]
+        } else {
+            Time::MAX
+        };
+        let next = next_event.min(next_boundary).min(deadline);
+        let budget = profile.budget_at(t) as i64;
+        let demand = idle + work;
+        let len = (next - t) as u128;
+        let g = demand.min(budget).max(0) as u128;
+        let b = (demand - budget).max(0) as u128;
+        let wg = (budget - demand).max(0) as u128;
+        green += g * len;
+        brown += b * len;
+        wasted += wg * len;
+        if next == next_boundary {
+            bi += 1;
+        }
+        t = next;
+    }
+    while ei < events.len() {
+        work += events[ei].1;
+        ei += 1;
+    }
+    debug_assert_eq!(work, 0);
+    EnergyReport {
+        green: u64::try_from(green).expect("fits"),
+        brown: u64::try_from(brown).expect("fits"),
+        wasted_green: u64::try_from(wasted).expect("fits"),
+        idle_energy: u64::try_from(idle_energy).expect("fits"),
+        work_energy: u64::try_from(work_energy).expect("fits"),
+    }
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+    use crate::enhanced::UnitInfo;
+    use cawo_graph::dag::DagBuilder;
+
+    fn one_task() -> Instance {
+        let dag = DagBuilder::new(1).build().unwrap();
+        Instance::from_raw(
+            dag,
+            vec![4],
+            vec![0],
+            vec![UnitInfo {
+                p_idle: 3,
+                p_work: 10,
+                is_link: false,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn brown_equals_carbon_cost() {
+        let inst = one_task();
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![10, 6]);
+        for start in 0..=4 {
+            let sched = Schedule::new(vec![start]);
+            let rep = energy_report(&inst, &sched, &profile);
+            assert_eq!(
+                rep.brown,
+                carbon_cost(&inst, &sched, &profile),
+                "start {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn demand_identity() {
+        let inst = one_task();
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![10, 6]);
+        let sched = Schedule::new(vec![2]);
+        let rep = energy_report(&inst, &sched, &profile);
+        // Demand = idle over horizon + work over task run.
+        assert_eq!(rep.idle_energy, 3 * 8);
+        assert_eq!(rep.work_energy, 10 * 4);
+        assert_eq!(rep.total_demand(), rep.idle_energy + rep.work_energy);
+    }
+
+    #[test]
+    fn green_plus_wasted_is_total_budget() {
+        let inst = one_task();
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![10, 6]);
+        let sched = Schedule::new(vec![0]);
+        let rep = energy_report(&inst, &sched, &profile);
+        assert_eq!(
+            (rep.green + rep.wasted_green) as u128,
+            profile.total_green_energy()
+        );
+    }
+
+    #[test]
+    fn green_fraction_bounds() {
+        let inst = one_task();
+        // Plenty of green: fraction 1.
+        let rich = PowerProfile::uniform(8, 100);
+        let sched = Schedule::new(vec![0]);
+        assert_eq!(energy_report(&inst, &sched, &rich).green_fraction(), 1.0);
+        // No green at all: fraction 0.
+        let poor = PowerProfile::uniform(8, 0);
+        assert_eq!(energy_report(&inst, &sched, &poor).green_fraction(), 0.0);
+    }
+}

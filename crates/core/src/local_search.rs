@@ -1,0 +1,379 @@
+//! Local search refinement (§5.3) — the `-LS` suffix of the variants.
+//!
+//! Processors (execution units, including links) are visited in
+//! non-increasing `P_work` order; on each unit, tasks are scanned left to
+//! right; each task considers start times up to `µ` time units to the
+//! left and right of its current start, from earliest to latest, and the
+//! *first* move with positive gain is applied (first-improvement hill
+//! climbing — the paper found best-improvement not worth its cost).
+//! Rounds repeat until one full round yields no gain, so the result can
+//! only be at least as good as the input (the search is a hill climber;
+//! Table 2's "cost ratio larger than 1.0 is not possible").
+//!
+//! Legality of a move only depends on the *current* placements of the
+//! task's `Gc` neighbours (which include its unit-order neighbours), so
+//! the feasible window is `[max preds finish, min succs start - ω(v)]`
+//! clipped to the horizon. Gains are evaluated in `O(|shift|)` through
+//! the incremental [`PowerGrid`].
+
+use cawo_platform::{PowerProfile, Time};
+
+use crate::cost::PowerGrid;
+use crate::enhanced::Instance;
+use crate::schedule::Schedule;
+
+/// Outcome statistics of a local-search run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LocalSearchStats {
+    /// Completed rounds (including the final gain-free round).
+    pub rounds: u32,
+    /// Number of applied moves.
+    pub moves: u64,
+    /// Total cost reduction.
+    pub gain: u64,
+}
+
+/// Move-acceptance policy. The paper uses first-improvement; it notes
+/// that checking "all legal moves and applying the best one" did not
+/// significantly improve the outcome in preliminary experiments — both
+/// are provided so that claim can be re-examined (`figures`' `ext-ls`
+/// artifact and the `ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LsPolicy {
+    /// Apply the earliest candidate with positive gain (paper default).
+    #[default]
+    FirstImprovement,
+    /// Scan all candidates and apply the one with the largest gain
+    /// (earliest wins ties).
+    BestImprovement,
+}
+
+/// Runs the local search in place with the paper's first-improvement
+/// policy. `mu` is the shift window (paper: 10). Returns statistics; the
+/// schedule is only ever improved.
+pub fn local_search(
+    inst: &Instance,
+    profile: &PowerProfile,
+    sched: &mut Schedule,
+    mu: Time,
+) -> LocalSearchStats {
+    local_search_with_policy(inst, profile, sched, mu, LsPolicy::FirstImprovement)
+}
+
+/// Runs the local search with an explicit move-acceptance policy.
+pub fn local_search_with_policy(
+    inst: &Instance,
+    profile: &PowerProfile,
+    sched: &mut Schedule,
+    mu: Time,
+    policy: LsPolicy,
+) -> LocalSearchStats {
+    let deadline = profile.deadline();
+    let mut grid = PowerGrid::new(inst, sched, profile);
+
+    // Units by non-increasing working power, ties by id.
+    let mut units: Vec<u32> = (0..inst.unit_count() as u32).collect();
+    units.sort_by_key(|&u| (std::cmp::Reverse(inst.unit(u).p_work), u));
+
+    let mut stats = LocalSearchStats::default();
+    loop {
+        stats.rounds += 1;
+        let mut round_gain = 0i64;
+        for &u in &units {
+            for &v in inst.unit_order(u) {
+                let len = inst.exec(v);
+                let w = inst.work_power(v) as i32;
+                if w == 0 {
+                    continue;
+                }
+                let s = sched.start(v);
+                // Feasible window given current neighbour placements.
+                let earliest = inst
+                    .dag()
+                    .predecessors(v)
+                    .iter()
+                    .map(|&p| sched.finish(p, inst))
+                    .max()
+                    .unwrap_or(0);
+                let latest_by_succ = inst
+                    .dag()
+                    .successors(v)
+                    .iter()
+                    .map(|&q| sched.start(q))
+                    .min()
+                    .unwrap_or(deadline)
+                    .saturating_sub(len);
+                let latest = latest_by_succ.min(deadline - len);
+                let lo = earliest.max(s.saturating_sub(mu));
+                let hi = latest.min(s + mu);
+                // Earliest-to-latest; acceptance per policy.
+                let mut chosen: Option<(Time, i64)> = None;
+                let mut cand = lo;
+                while cand <= hi {
+                    if cand != s {
+                        let delta = grid.shift_delta(s, len, w, cand);
+                        if delta < 0 {
+                            match policy {
+                                LsPolicy::FirstImprovement => {
+                                    chosen = Some((cand, delta));
+                                    break;
+                                }
+                                LsPolicy::BestImprovement => {
+                                    if chosen.is_none_or(|(_, best)| delta < best) {
+                                        chosen = Some((cand, delta));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    cand += 1;
+                }
+                if let Some((target, delta)) = chosen {
+                    grid.apply_shift(s, len, w, target);
+                    sched.set_start(v, target);
+                    stats.moves += 1;
+                    round_gain += -delta;
+                }
+            }
+        }
+        if round_gain == 0 {
+            break;
+        }
+        stats.gain += round_gain as u64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::carbon_cost;
+    use crate::enhanced::UnitInfo;
+    use crate::greedy::{greedy_schedule, GreedyConfig};
+    use crate::scores::Score;
+    use cawo_graph::dag::DagBuilder;
+
+    fn single_task(exec: Time, p_work: u64) -> Instance {
+        let dag = DagBuilder::new(1).build().unwrap();
+        Instance::from_raw(
+            dag,
+            vec![exec],
+            vec![0],
+            vec![UnitInfo {
+                p_idle: 0,
+                p_work,
+                is_link: false,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn slides_task_into_green_window() {
+        // Green only in [6, 12); task of length 4 starts at 0.
+        let inst = single_task(4, 10);
+        let profile = PowerProfile::from_parts(vec![0, 6, 12], vec![0, 10]);
+        let mut sched = Schedule::new(vec![0]);
+        let before = carbon_cost(&inst, &sched, &profile);
+        assert_eq!(before, 40);
+        let stats = local_search(&inst, &profile, &mut sched, 10);
+        let after = carbon_cost(&inst, &sched, &profile);
+        assert_eq!(after, 0, "start: {}", sched.start(0));
+        assert!(sched.start(0) >= 6 && sched.start(0) + 4 <= 12);
+        assert_eq!(stats.gain, 40);
+        assert!(stats.moves >= 1);
+    }
+
+    #[test]
+    fn never_increases_cost() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..8);
+            let mut b = DagBuilder::new(n);
+            for i in 0..n as u32 {
+                for j in i + 1..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        b.add_edge(i, j);
+                    }
+                }
+            }
+            let dag = b.build().unwrap();
+            let units: Vec<UnitInfo> = (0..2)
+                .map(|_| UnitInfo {
+                    p_idle: rng.gen_range(0..3),
+                    p_work: rng.gen_range(1..15),
+                    is_link: false,
+                })
+                .collect();
+            let exec: Vec<Time> = (0..n).map(|_| rng.gen_range(1..6)).collect();
+            let unit_of: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+            let inst = Instance::from_raw(dag, exec, unit_of, units, 0);
+            let asap = inst.asap_schedule();
+            let deadline = asap.makespan(&inst) * 2 + 5;
+            let budgets: Vec<u64> = (0..4).map(|_| rng.gen_range(0..20)).collect();
+            let q = deadline / 4;
+            let profile = PowerProfile::from_parts(vec![0, q, 2 * q, 3 * q, deadline], budgets);
+            let mut sched = asap.clone();
+            let before = carbon_cost(&inst, &sched, &profile);
+            local_search(&inst, &profile, &mut sched, 7);
+            let after = carbon_cost(&inst, &sched, &profile);
+            assert!(after <= before, "trial {trial}: {after} > {before}");
+            assert!(sched.validate(&inst, deadline).is_ok(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn respects_precedences_while_moving() {
+        // Chain 0 -> 1; moving 1 left is illegal below 0's finish.
+        let mut b = DagBuilder::new(2);
+        b.add_edge(0, 1);
+        let inst = Instance::from_raw(
+            b.build().unwrap(),
+            vec![5, 5],
+            vec![0, 1],
+            vec![
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 10,
+                    is_link: false,
+                },
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 10,
+                    is_link: false,
+                },
+            ],
+            0,
+        );
+        // Green only at the very start: LS wants everything early, but 1
+        // cannot start before 5.
+        let profile = PowerProfile::from_parts(vec![0, 10, 30], vec![20, 0]);
+        let mut sched = Schedule::new(vec![10, 20]);
+        local_search(&inst, &profile, &mut sched, 30);
+        assert!(sched.validate(&inst, 30).is_ok());
+        assert!(sched.start(1) >= sched.finish(0, &inst));
+    }
+
+    #[test]
+    fn mu_limits_the_shift_per_step() {
+        // Task at 0, green window at [50, 60): µ=10 still gets there
+        // eventually (10 per round-step), but µ=0 cannot move at all.
+        let inst = single_task(5, 10);
+        let profile = PowerProfile::from_parts(vec![0, 50, 60], vec![0, 10]);
+        let mut stuck = Schedule::new(vec![0]);
+        let stats = local_search(&inst, &profile, &mut stuck, 0);
+        assert_eq!(stats.moves, 0);
+        assert_eq!(stuck.start(0), 0);
+    }
+
+    #[test]
+    fn multiple_rounds_travel_far() {
+        // Strictly improving gradient lets µ=10 moves chain across
+        // rounds: budgets increase to the right.
+        let inst = single_task(5, 10);
+        let profile = PowerProfile::from_parts(vec![0, 10, 20, 30, 40], vec![0, 4, 8, 10]);
+        let mut sched = Schedule::new(vec![0]);
+        let stats = local_search(&inst, &profile, &mut sched, 10);
+        assert!(stats.rounds > 1);
+        assert_eq!(carbon_cost(&inst, &sched, &profile), 0);
+        assert!(sched.start(0) >= 30);
+    }
+
+    #[test]
+    fn improves_or_preserves_greedy_output() {
+        use cawo_graph::generator::{generate, Family, GeneratorConfig};
+        use cawo_heft::heft_schedule;
+        use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario};
+        let wf = generate(&GeneratorConfig::new(Family::Methylseq, 60, 2));
+        let cluster = Cluster::from_type_counts("mini", &[1, 1, 1, 1, 1, 1], 2);
+        let mapping = heft_schedule(&wf, &cluster);
+        let inst = Instance::build(&wf, &cluster, &mapping);
+        let profile = ProfileConfig::new(Scenario::SolarMorning, DeadlineFactor::X30, 2)
+            .build(&cluster, inst.asap_makespan());
+        let cfg = GreedyConfig::new(Score::Pressure, true, true);
+        let mut sched = greedy_schedule(&inst, &profile, cfg);
+        let before = carbon_cost(&inst, &sched, &profile);
+        let stats = local_search(&inst, &profile, &mut sched, 10);
+        let after = carbon_cost(&inst, &sched, &profile);
+        assert_eq!(before - after, stats.gain);
+        assert!(after <= before);
+        assert!(sched.validate(&inst, profile.deadline()).is_ok());
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = LocalSearchStats::default();
+        assert_eq!((s.rounds, s.moves, s.gain), (0, 0, 0));
+    }
+
+    #[test]
+    fn best_improvement_is_monotone_and_valid() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..7);
+            let mut b = DagBuilder::new(n);
+            for i in 0..n as u32 {
+                for j in i + 1..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        b.add_edge(i, j);
+                    }
+                }
+            }
+            let inst = Instance::from_raw(
+                b.build().unwrap(),
+                (0..n).map(|_| rng.gen_range(1..6)).collect(),
+                vec![0; n],
+                vec![UnitInfo {
+                    p_idle: 0,
+                    p_work: rng.gen_range(1..10),
+                    is_link: false,
+                }],
+                0,
+            );
+            let asap = inst.asap_schedule();
+            let deadline = asap.makespan(&inst) * 2 + 4;
+            let profile = PowerProfile::from_parts(
+                vec![0, deadline / 2, deadline],
+                vec![rng.gen_range(0..15), rng.gen_range(0..15)],
+            );
+            let mut first = asap.clone();
+            let mut best = asap.clone();
+            let base = carbon_cost(&inst, &asap, &profile);
+            let fs = local_search_with_policy(
+                &inst,
+                &profile,
+                &mut first,
+                8,
+                LsPolicy::FirstImprovement,
+            );
+            let bs =
+                local_search_with_policy(&inst, &profile, &mut best, 8, LsPolicy::BestImprovement);
+            let fc = carbon_cost(&inst, &first, &profile);
+            let bc = carbon_cost(&inst, &best, &profile);
+            assert!(fc <= base && bc <= base, "trial {trial}");
+            assert_eq!(base - fc, fs.gain);
+            assert_eq!(base - bc, bs.gain);
+            assert!(best.validate(&inst, deadline).is_ok(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn best_improvement_takes_the_larger_gain() {
+        // Task at 0 (len 2, power 10); two green windows reachable in
+        // one mu-step: [3,5) budget 6 and [8,10) budget 10. First-
+        // improvement settles at 3; best-improvement jumps to 8.
+        let inst = single_task(2, 10);
+        let profile = PowerProfile::from_parts(vec![0, 3, 5, 8, 10], vec![0, 6, 0, 10]);
+        let mut first = Schedule::new(vec![0]);
+        local_search_with_policy(&inst, &profile, &mut first, 10, LsPolicy::FirstImprovement);
+        let mut best = Schedule::new(vec![0]);
+        local_search_with_policy(&inst, &profile, &mut best, 10, LsPolicy::BestImprovement);
+        assert_eq!(carbon_cost(&inst, &best, &profile), 0);
+        assert!(carbon_cost(&inst, &best, &profile) <= carbon_cost(&inst, &first, &profile));
+        assert_eq!(best.start(0), 8);
+    }
+}

@@ -1,0 +1,213 @@
+//! Schedules over the enhanced DAG and their validity conditions.
+
+use cawo_graph::NodeId;
+use cawo_platform::Time;
+
+use crate::enhanced::Instance;
+
+/// A start-time assignment `σ` for every `Gc` node (§3: "a schedule,
+/// i.e., a start time for each task of Vc, including communication
+/// tasks").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    start: Vec<Time>,
+}
+
+/// Why a schedule is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Wrong number of start times.
+    WrongLength {
+        /// Expected node count of the instance.
+        expected: usize,
+        /// Entries in the schedule.
+        got: usize,
+    },
+    /// Edge `(u, v)` violated: `v` starts before `u` finishes.
+    PrecedenceViolated {
+        /// Predecessor node.
+        u: NodeId,
+        /// Successor node that starts too early.
+        v: NodeId,
+    },
+    /// A node finishes after the deadline `T`.
+    DeadlineExceeded {
+        /// Offending node.
+        v: NodeId,
+        /// Its completion time.
+        finish: Time,
+        /// The deadline it violates.
+        deadline: Time,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, got } => {
+                write!(f, "schedule has {got} entries, expected {expected}")
+            }
+            ScheduleError::PrecedenceViolated { u, v } => {
+                write!(f, "precedence ({u}, {v}) violated")
+            }
+            ScheduleError::DeadlineExceeded {
+                v,
+                finish,
+                deadline,
+            } => {
+                write!(f, "node {v} finishes at {finish} > deadline {deadline}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Wraps explicit start times.
+    pub fn new(start: Vec<Time>) -> Self {
+        Schedule { start }
+    }
+
+    /// Start time of node `v`.
+    pub fn start(&self, v: NodeId) -> Time {
+        self.start[v as usize]
+    }
+
+    /// Completion time of node `v`.
+    pub fn finish(&self, v: NodeId, inst: &Instance) -> Time {
+        self.start[v as usize] + inst.exec(v)
+    }
+
+    /// All start times.
+    pub fn starts(&self) -> &[Time] {
+        &self.start
+    }
+
+    /// Mutable start time (used by the local search).
+    pub fn set_start(&mut self, v: NodeId, t: Time) {
+        self.start[v as usize] = t;
+    }
+
+    /// Makespan: the maximum completion time.
+    pub fn makespan(&self, inst: &Instance) -> Time {
+        (0..self.start.len() as NodeId)
+            .map(|v| self.finish(v, inst))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks every precedence of `Gc` and the deadline. Because the
+    /// fixed per-unit ordering is encoded as chain edges in `Gc`, a
+    /// schedule passing this check also never overlaps two nodes on one
+    /// unit.
+    pub fn validate(&self, inst: &Instance, deadline: Time) -> Result<(), ScheduleError> {
+        if self.start.len() != inst.node_count() {
+            return Err(ScheduleError::WrongLength {
+                expected: inst.node_count(),
+                got: self.start.len(),
+            });
+        }
+        for v in 0..inst.node_count() as NodeId {
+            let finish = self.finish(v, inst);
+            if finish > deadline {
+                return Err(ScheduleError::DeadlineExceeded {
+                    v,
+                    finish,
+                    deadline,
+                });
+            }
+        }
+        for (u, v) in inst.dag().edges() {
+            if self.start(v) < self.finish(u, inst) {
+                return Err(ScheduleError::PrecedenceViolated { u, v });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enhanced::UnitInfo;
+    use cawo_graph::dag::DagBuilder;
+
+    fn chain_instance() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let dag = b.build().unwrap();
+        Instance::from_raw(
+            dag,
+            vec![5, 3, 2],
+            vec![0, 0, 0],
+            vec![UnitInfo {
+                p_idle: 1,
+                p_work: 2,
+                is_link: false,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let inst = chain_instance();
+        let s = Schedule::new(vec![0, 5, 8]);
+        assert!(s.validate(&inst, 10).is_ok());
+        assert_eq!(s.makespan(&inst), 10);
+        assert_eq!(s.finish(0, &inst), 5);
+    }
+
+    #[test]
+    fn shifted_schedule_passes_with_slack() {
+        let inst = chain_instance();
+        let s = Schedule::new(vec![2, 9, 14]);
+        assert!(s.validate(&inst, 16).is_ok());
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let inst = chain_instance();
+        let s = Schedule::new(vec![0, 4, 8]);
+        assert_eq!(
+            s.validate(&inst, 100).unwrap_err(),
+            ScheduleError::PrecedenceViolated { u: 0, v: 1 }
+        );
+    }
+
+    #[test]
+    fn deadline_violation_detected() {
+        let inst = chain_instance();
+        let s = Schedule::new(vec![0, 5, 8]);
+        assert!(matches!(
+            s.validate(&inst, 9).unwrap_err(),
+            ScheduleError::DeadlineExceeded {
+                v: 2,
+                finish: 10,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let inst = chain_instance();
+        let s = Schedule::new(vec![0, 5]);
+        assert!(matches!(
+            s.validate(&inst, 100).unwrap_err(),
+            ScheduleError::WrongLength {
+                expected: 3,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn set_start_mutates() {
+        let mut s = Schedule::new(vec![0, 5, 8]);
+        s.set_start(1, 6);
+        assert_eq!(s.start(1), 6);
+    }
+}

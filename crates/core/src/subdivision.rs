@@ -1,0 +1,183 @@
+//! Refined interval subdivision (§5.2, "Subdivision of the intervals").
+//!
+//! Motivated by the uniprocessor result that some optimal schedule aligns
+//! every *block* of back-to-back tasks with an interval boundary
+//! (Lemma 4.2), the refined variants consider, on every execution unit,
+//! all blocks of at most `k` consecutive tasks, tentatively align each
+//! block's start or end with each original interval boundary, and record
+//! the start times this induces for the tasks inside the block. The
+//! union of all recorded times defines a finer subdivision of the
+//! horizon.
+//!
+//! Every induced start time is of the form `e ± d` where `e` is an
+//! original boundary and `d` a sum of at most `k` *consecutive* running
+//! times on one unit — so we collect the distinct `d` values first
+//! (deduplicated globally) and then take the cross product with the
+//! boundaries, which keeps the memory footprint linear.
+//!
+//! The paper notes `k = 3 already creates a lot of subintervals`; on
+//! 30 000-task instances the full cross product can exceed millions of
+//! boundaries, which would dominate the greedy's interval scans. The
+//! `cap` parameter bounds the subdivision size by even subsampling
+//! (original boundaries are always kept). `cap = usize::MAX` reproduces
+//! the uncapped construction.
+
+use cawo_platform::{PowerProfile, Time};
+
+use crate::enhanced::Instance;
+
+/// Computes the refined boundary set: all induced task start times in
+/// `(0, T)` plus the original boundaries, sorted, deduplicated and capped
+/// at `cap` entries.
+pub fn refined_boundaries(
+    inst: &Instance,
+    profile: &PowerProfile,
+    k: usize,
+    cap: usize,
+) -> Vec<Time> {
+    let horizon = profile.deadline();
+
+    // Distinct sums of 1..=k consecutive running times per unit.
+    let mut deltas: Vec<Time> = Vec::new();
+    for u in 0..inst.unit_count() as u32 {
+        let order = inst.unit_order(u);
+        for i in 0..order.len() {
+            let mut sum = 0;
+            for &v in &order[i..order.len().min(i + k)] {
+                sum += inst.exec(v);
+                deltas.push(sum);
+            }
+        }
+    }
+    deltas.sort_unstable();
+    deltas.dedup();
+
+    let originals = profile.boundaries();
+    let mut candidates: Vec<Time> = Vec::with_capacity(originals.len() * (2 * deltas.len() + 1));
+    candidates.extend_from_slice(originals);
+    for &e in originals {
+        for &d in &deltas {
+            // Start-aligned blocks put later tasks at e + d; end-aligned
+            // blocks put earlier tasks at e - d.
+            let plus = e + d;
+            if plus < horizon {
+                candidates.push(plus);
+            }
+            if let Some(minus) = e.checked_sub(d) {
+                if minus > 0 {
+                    candidates.push(minus);
+                }
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    if candidates.len() > cap {
+        subsample_keeping(&candidates, originals, cap)
+    } else {
+        candidates
+    }
+}
+
+/// Evenly subsamples `candidates` down to ≈ `cap` entries while keeping
+/// every entry of `must_keep` (both inputs sorted).
+fn subsample_keeping(candidates: &[Time], must_keep: &[Time], cap: usize) -> Vec<Time> {
+    let stride = candidates.len().div_ceil(cap.max(must_keep.len())).max(1);
+    let mut out: Vec<Time> = candidates.iter().copied().step_by(stride).collect();
+    out.extend_from_slice(must_keep);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enhanced::UnitInfo;
+    use cawo_graph::dag::DagBuilder;
+
+    /// Chain of three tasks, exec 5, 3, 2 on one unit.
+    fn chain() -> Instance {
+        let mut b = DagBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        Instance::from_raw(
+            b.build().unwrap(),
+            vec![5, 3, 2],
+            vec![0, 0, 0],
+            vec![UnitInfo {
+                p_idle: 0,
+                p_work: 1,
+                is_link: false,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn contains_all_original_boundaries() {
+        let inst = chain();
+        let profile = PowerProfile::from_parts(vec![0, 7, 14, 20], vec![1, 2, 3]);
+        let refined = refined_boundaries(&inst, &profile, 3, usize::MAX);
+        for b in profile.boundaries() {
+            assert!(refined.contains(b), "missing original boundary {b}");
+        }
+    }
+
+    #[test]
+    fn k1_blocks_align_single_tasks() {
+        let inst = chain();
+        let profile = PowerProfile::from_parts(vec![0, 10, 20], vec![1, 2]);
+        let refined = refined_boundaries(&inst, &profile, 1, usize::MAX);
+        // Deltas for k=1: {5, 3, 2}. Around boundary 10: 10±{2,3,5}.
+        for t in [5, 7, 8, 12, 13, 15] {
+            assert!(refined.contains(&t), "missing {t} in {refined:?}");
+        }
+        // Nothing beyond the horizon boundary T = 20 itself.
+        assert!(!refined.iter().any(|&t| t > 20));
+        assert_eq!(refined[0], 0);
+        assert_eq!(*refined.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn k3_includes_consecutive_sums() {
+        let inst = chain();
+        let profile = PowerProfile::from_parts(vec![0, 20], vec![1]);
+        let refined = refined_boundaries(&inst, &profile, 3, usize::MAX);
+        // Deltas: 5, 3, 2, 5+3=8, 3+2=5, 5+3+2=10 ⇒ {2,3,5,8,10}.
+        // From boundary 0 only +d survives: {2,3,5,8,10};
+        // from boundary 20 only -d: {18,17,15,12,10}.
+        let expect: Vec<Time> = vec![0, 2, 3, 5, 8, 10, 12, 15, 17, 18, 20];
+        assert_eq!(refined, expect);
+    }
+
+    #[test]
+    fn sorted_and_unique() {
+        let inst = chain();
+        let profile = PowerProfile::from_parts(vec![0, 6, 13, 20], vec![3, 1, 2]);
+        let refined = refined_boundaries(&inst, &profile, 3, usize::MAX);
+        assert!(refined.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cap_subsamples_but_keeps_originals() {
+        let inst = chain();
+        let profile = PowerProfile::from_parts(vec![0, 6, 13, 20], vec![3, 1, 2]);
+        let full = refined_boundaries(&inst, &profile, 3, usize::MAX);
+        let capped = refined_boundaries(&inst, &profile, 3, 6);
+        assert!(capped.len() < full.len());
+        for b in profile.boundaries() {
+            assert!(capped.contains(b));
+        }
+        assert!(capped.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn refinement_is_superset_of_original() {
+        let inst = chain();
+        let profile = PowerProfile::from_parts(vec![0, 10, 20], vec![1, 2]);
+        let refined = refined_boundaries(&inst, &profile, 2, usize::MAX);
+        assert!(refined.len() > profile.boundaries().len());
+    }
+}

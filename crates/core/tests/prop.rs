@@ -1,0 +1,236 @@
+//! Property-based tests for the scheduling core: cost-engine
+//! equivalence, bounds consistency, schedule validity of every variant,
+//! and local-search monotonicity — the invariants listed in DESIGN.md §7.
+
+use proptest::prelude::*;
+
+use cawo_core::enhanced::UnitInfo;
+use cawo_core::{
+    carbon_cost, carbon_cost_naive, local_search, Bounds, Instance, PowerGrid, Schedule, Variant,
+};
+use cawo_graph::dag::DagBuilder;
+use cawo_graph::NodeId;
+use cawo_platform::{PowerProfile, Time};
+
+/// A random small instance: forward-edge DAG, 1–3 units, small exec
+/// times and powers.
+#[derive(Debug, Clone)]
+struct RawInstance {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    exec: Vec<Time>,
+    unit_of: Vec<u32>,
+    units: Vec<(u64, u64)>,
+}
+
+impl RawInstance {
+    fn build(&self) -> Instance {
+        let mut b = DagBuilder::new(self.n);
+        for &(u, v) in &self.edges {
+            b.add_edge(u, v);
+        }
+        let units: Vec<UnitInfo> = self
+            .units
+            .iter()
+            .map(|&(i, w)| UnitInfo {
+                p_idle: i,
+                p_work: w,
+                is_link: false,
+            })
+            .collect();
+        Instance::from_raw(
+            b.build().unwrap(),
+            self.exec.clone(),
+            self.unit_of.clone(),
+            units,
+            0,
+        )
+    }
+}
+
+fn raw_instance(max_n: usize) -> impl Strategy<Value = RawInstance> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32 - 1).prop_flat_map(move |u| (Just(u), (u + 1..n as u32))),
+            0..n * 2,
+        );
+        let exec = proptest::collection::vec(1u64..8, n);
+        let units = proptest::collection::vec((0u64..4, 1u64..12), 1..4);
+        (Just(n), edges, exec, units).prop_flat_map(|(n, edges, exec, units)| {
+            let k = units.len() as u32;
+            let unit_of = proptest::collection::vec(0..k, n);
+            (Just(n), Just(edges), Just(exec), Just(units), unit_of).prop_map(
+                |(n, edges, exec, units, unit_of)| RawInstance {
+                    n,
+                    edges,
+                    exec,
+                    unit_of,
+                    units,
+                },
+            )
+        })
+    })
+}
+
+/// A random profile over a given minimum horizon.
+fn profile_for(min_horizon: Time) -> impl Strategy<Value = PowerProfile> {
+    (1u64..4, proptest::collection::vec(0u64..25, 1..6)).prop_map(move |(stretch, budgets)| {
+        let horizon = (min_horizon * stretch).max(1);
+        let j = budgets.len() as u64;
+        let mut bounds = vec![0];
+        for k in 1..=j {
+            let t = horizon * k / j;
+            if t > *bounds.last().unwrap() {
+                bounds.push(t);
+            }
+        }
+        let m = bounds.len() - 1;
+        PowerProfile::from_parts(bounds, budgets[..m].to_vec())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_engines_agree(raw in raw_instance(10), seed in any::<u64>()) {
+        let inst = raw.build();
+        let asap = inst.asap_schedule();
+        let makespan = asap.makespan(&inst).max(1);
+        // Deterministic pseudo-random shifts within double the makespan.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let profile = PowerProfile::from_parts(
+            vec![0, makespan, 2 * makespan + 1],
+            vec![next() % 20, next() % 20],
+        );
+        // Random valid-by-construction schedule: ASAP shifted by a
+        // uniform amount per topological prefix.
+        let starts: Vec<Time> = (0..inst.node_count() as NodeId)
+            .map(|v| asap.start(v) + (next() % (makespan + 1)))
+            .collect();
+        // The shift may violate precedence; instead, just use ASAP and a
+        // "fully delayed" variant, both valid.
+        let _ = starts;
+        for sched in [asap.clone(), {
+            let delay = makespan;
+            Schedule::new(asap.starts().iter().map(|&s| s + delay).collect())
+        }] {
+            let a = carbon_cost(&inst, &sched, &profile);
+            let b = carbon_cost_naive(&inst, &sched, &profile);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn grid_matches_sweep_and_deltas(raw in raw_instance(8)) {
+        let inst = raw.build();
+        let asap = inst.asap_schedule();
+        let horizon = asap.makespan(&inst) * 2 + 4;
+        let profile = PowerProfile::from_parts(
+            vec![0, horizon / 2, horizon],
+            vec![3, 11],
+        );
+        let grid = PowerGrid::new(&inst, &asap, &profile);
+        prop_assert_eq!(grid.total_cost(), carbon_cost(&inst, &asap, &profile));
+        // Shifting the last node anywhere ahead matches a full re-cost.
+        let v = (inst.node_count() - 1) as NodeId;
+        let len = inst.exec(v);
+        let w = inst.work_power(v) as i32;
+        let s = asap.start(v);
+        for ns in s..=(horizon - len).min(s + 6) {
+            let mut moved = asap.clone();
+            moved.set_start(v, ns);
+            let expect = carbon_cost(&inst, &moved, &profile) as i64
+                - carbon_cost(&inst, &asap, &profile) as i64;
+            prop_assert_eq!(grid.shift_delta(s, len, w, ns), expect);
+        }
+    }
+
+    #[test]
+    fn bounds_stay_consistent_under_fixes(raw in raw_instance(10), picks in any::<u64>()) {
+        let inst = raw.build();
+        let deadline = inst.asap_makespan() * 2 + 3;
+        let mut bounds = Bounds::new(&inst, deadline);
+        prop_assert!(bounds.is_feasible(&inst));
+        // Fix every node at a deterministic point of its window, in a
+        // scrambled order.
+        let n = inst.node_count();
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        let rot = (picks as usize) % n;
+        order.rotate_left(rot);
+        for &v in &order {
+            prop_assert!(bounds.est(v) <= bounds.lst(v));
+            let span = bounds.lst(v) - bounds.est(v);
+            let s = bounds.est(v) + (picks % (span + 1));
+            bounds.fix(&inst, v, s);
+            prop_assert!(bounds.is_feasible(&inst));
+        }
+        // The fixed starts form a valid schedule.
+        let sched = Schedule::new((0..n as NodeId).map(|v| bounds.est(v)).collect());
+        prop_assert!(sched.validate(&inst, deadline).is_ok());
+    }
+
+    #[test]
+    fn all_variants_valid_on_random_instances(
+        raw in raw_instance(10),
+        profile_budgets in proptest::collection::vec(0u64..30, 2..5),
+    ) {
+        let inst = raw.build();
+        let makespan = inst.asap_makespan();
+        let horizon = makespan * 2 + profile_budgets.len() as u64;
+        let j = profile_budgets.len() as u64;
+        let mut bounds_v = vec![0];
+        for k in 1..=j {
+            let t = horizon * k / j;
+            if t > *bounds_v.last().unwrap() {
+                bounds_v.push(t);
+            }
+        }
+        let m = bounds_v.len() - 1;
+        let profile = PowerProfile::from_parts(bounds_v, profile_budgets[..m].to_vec());
+        for v in Variant::ALL {
+            let sched = v.run(&inst, &profile);
+            prop_assert!(sched.validate(&inst, profile.deadline()).is_ok(), "{}", v);
+        }
+    }
+
+    #[test]
+    fn local_search_monotone_and_valid(
+        raw in raw_instance(9),
+        mu in 0u64..15,
+        b0 in 0u64..20,
+        b1 in 0u64..20,
+    ) {
+        let inst = raw.build();
+        let horizon = inst.asap_makespan() * 2 + 2;
+        let profile =
+            PowerProfile::from_parts(vec![0, horizon / 2, horizon], vec![b0, b1]);
+        let mut sched = inst.asap_schedule();
+        let before = carbon_cost(&inst, &sched, &profile);
+        let stats = local_search(&inst, &profile, &mut sched, mu);
+        let after = carbon_cost(&inst, &sched, &profile);
+        prop_assert!(after <= before);
+        prop_assert_eq!(before - after, stats.gain);
+        prop_assert!(sched.validate(&inst, horizon).is_ok());
+    }
+
+    #[test]
+    fn asap_is_earliest_schedule(raw in raw_instance(12)) {
+        let inst = raw.build();
+        let asap = inst.asap_schedule();
+        for v in 0..inst.node_count() as NodeId {
+            let est = inst
+                .dag()
+                .predecessors(v)
+                .iter()
+                .map(|&u| asap.start(u) + inst.exec(u))
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(asap.start(v), est);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact branch-and-bound solver over task start times.
+//!
+//! Substitutes the paper's Gurobi runs (see DESIGN.md, Substitution 1).
+//! The search assigns start times to `Gc` nodes in topological order.
+//! For a node `v` the candidate starts are the integers in
+//! `[max placed-preds finish, LST(v)]` (the static LST w.r.t. the
+//! deadline is a valid upper bound because all successors must still
+//! fit). Soundness of the bound: working power is additive, so the cost
+//! of a *partial* schedule is monotone non-decreasing in placements —
+//! the cost of the placed prefix is an admissible lower bound on every
+//! completion, and branches with `lb >= best` are pruned.
+//!
+//! The solver can be seeded with a heuristic schedule as the incumbent;
+//! candidate starts are explored in increasing order of their immediate
+//! cost contribution to reach good incumbents quickly.
+
+use cawo_core::{Bounds, Cost, Instance, Schedule};
+use cawo_graph::NodeId;
+use cawo_platform::{PowerProfile, Time};
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct BnbConfig {
+    /// Abort after exploring this many search nodes (the incumbent is
+    /// still returned, flagged non-optimal).
+    pub node_limit: u64,
+    /// Warm-start incumbent (e.g. the best heuristic schedule).
+    pub incumbent: Option<Schedule>,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            node_limit: 50_000_000,
+            incumbent: None,
+        }
+    }
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone)]
+pub struct BnbResult {
+    /// Best cost found.
+    pub cost: Cost,
+    /// Schedule achieving it.
+    pub schedule: Schedule,
+    /// Whether the search space was exhausted (result proven optimal).
+    pub optimal: bool,
+    /// Explored search nodes.
+    pub nodes: u64,
+}
+
+struct SearchState<'a> {
+    inst: &'a Instance,
+    /// Static LST per node (deadline-based).
+    lst: Vec<Time>,
+    /// Per-time-unit working power of placed tasks.
+    work: Vec<i64>,
+    /// Per-time-unit headroom `G(t) - Σ P_idle` (can be negative).
+    headroom: Vec<i64>,
+    /// Cost of the placed prefix (admissible lower bound).
+    prefix_cost: i64,
+    /// Start times chosen so far (indexed by node).
+    start: Vec<Time>,
+    /// Finish time of each placed node (u64::MAX = unplaced).
+    finish: Vec<Time>,
+    /// Incumbent.
+    best_cost: i64,
+    best_start: Vec<Time>,
+    nodes: u64,
+    node_limit: u64,
+    exhausted: bool,
+}
+
+impl<'a> SearchState<'a> {
+    /// Cost delta of placing power `w` over `[s, s+len)`.
+    fn place_delta(&self, s: Time, len: Time, w: i64) -> i64 {
+        let mut d = 0;
+        for t in s..s + len {
+            let before = (self.work[t as usize] - self.headroom[t as usize]).max(0);
+            let after = (self.work[t as usize] + w - self.headroom[t as usize]).max(0);
+            d += after - before;
+        }
+        d
+    }
+
+    fn apply(&mut self, s: Time, len: Time, w: i64) {
+        for t in s..s + len {
+            self.work[t as usize] += w;
+        }
+    }
+
+    fn unapply(&mut self, s: Time, len: Time, w: i64) {
+        for t in s..s + len {
+            self.work[t as usize] -= w;
+        }
+    }
+
+    fn dfs(&mut self, order: &[NodeId], depth: usize) {
+        self.nodes += 1;
+        if self.nodes >= self.node_limit {
+            self.exhausted = false;
+            return;
+        }
+        if depth == order.len() {
+            if self.prefix_cost < self.best_cost {
+                self.best_cost = self.prefix_cost;
+                self.best_start = self.start.clone();
+            }
+            return;
+        }
+        let v = order[depth];
+        let len = self.inst.exec(v);
+        let w = self.inst.work_power(v) as i64;
+        let est: Time = self
+            .inst
+            .dag()
+            .predecessors(v)
+            .iter()
+            .map(|&u| {
+                debug_assert_ne!(self.finish[u as usize], Time::MAX, "topological order");
+                self.finish[u as usize]
+            })
+            .max()
+            .unwrap_or(0);
+        let lst = self.lst[v as usize];
+        if est > lst {
+            return; // placed predecessors already overflow the deadline
+        }
+        // Candidates ordered by immediate cost contribution (cheapest
+        // first), ties by earliest start.
+        let mut cands: Vec<(i64, Time)> = (est..=lst)
+            .map(|s| (self.place_delta(s, len, w), s))
+            .collect();
+        cands.sort_unstable();
+        for (delta, s) in cands {
+            if self.prefix_cost + delta >= self.best_cost {
+                // `delta` is sorted ascending, but later candidates can
+                // only match or exceed it — stop this branch.
+                break;
+            }
+            self.apply(s, len, w);
+            self.prefix_cost += delta;
+            self.start[v as usize] = s;
+            self.finish[v as usize] = s + len;
+            self.dfs(order, depth + 1);
+            self.finish[v as usize] = Time::MAX;
+            self.prefix_cost -= delta;
+            self.unapply(s, len, w);
+            if self.nodes >= self.node_limit {
+                return;
+            }
+        }
+    }
+}
+
+/// Solves an instance to optimality (subject to `config.node_limit`).
+///
+/// Panics if the deadline is below the ASAP makespan.
+pub fn solve_exact(inst: &Instance, profile: &PowerProfile, config: BnbConfig) -> BnbResult {
+    let horizon = profile.deadline();
+    let bounds = Bounds::new(inst, horizon);
+    assert!(bounds.is_feasible(inst), "deadline below ASAP makespan");
+
+    let idle = inst.total_idle_power() as i64;
+    let mut headroom = vec![0i64; horizon as usize];
+    for j in 0..profile.interval_count() {
+        let (b, e) = profile.interval_span(j);
+        let d = profile.budget(j) as i64 - idle;
+        for slot in &mut headroom[b as usize..e as usize] {
+            *slot = d;
+        }
+    }
+    // Base cost: idle overflow (constant, not part of branching).
+    let base_cost: i64 = headroom.iter().map(|&d| (-d).max(0)).sum();
+
+    let n = inst.node_count();
+    let lst: Vec<Time> = (0..n as NodeId).map(|v| bounds.lst(v)).collect();
+
+    // Incumbent: provided schedule or ASAP.
+    let incumbent = config.incumbent.unwrap_or_else(|| inst.asap_schedule());
+    incumbent
+        .validate(inst, horizon)
+        .expect("incumbent must be valid for the deadline");
+    let incumbent_cost = cawo_core::carbon_cost(inst, &incumbent, profile) as i64;
+
+    let mut state = SearchState {
+        inst,
+        lst,
+        work: vec![0i64; horizon as usize],
+        headroom,
+        prefix_cost: base_cost,
+        start: vec![0; n],
+        finish: vec![Time::MAX; n],
+        best_cost: incumbent_cost,
+        best_start: incumbent.starts().to_vec(),
+        nodes: 0,
+        node_limit: config.node_limit,
+        exhausted: true,
+    };
+    let order = inst.topo_order().to_vec();
+    state.dfs(&order, 0);
+
+    let schedule = Schedule::new(state.best_start);
+    debug_assert!(schedule.validate(inst, horizon).is_ok());
+    BnbResult {
+        cost: state.best_cost as Cost,
+        schedule,
+        optimal: state.exhausted,
+        nodes: state.nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cawo_core::enhanced::UnitInfo;
+    use cawo_core::{carbon_cost, Variant};
+    use cawo_graph::dag::DagBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn chain_instance(exec: Vec<Time>, p_idle: u64, p_work: u64) -> Instance {
+        let n = exec.len();
+        let mut b = DagBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(i as u32 - 1, i as u32);
+        }
+        Instance::from_raw(
+            b.build().unwrap(),
+            exec,
+            vec![0; n],
+            vec![UnitInfo {
+                p_idle,
+                p_work,
+                is_link: false,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn finds_zero_cost_when_it_exists() {
+        let inst = chain_instance(vec![3], 0, 5);
+        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![0, 5]);
+        let res = solve_exact(&inst, &profile, BnbConfig::default());
+        assert!(res.optimal);
+        assert_eq!(res.cost, 0);
+        assert!(res.schedule.start(0) >= 4);
+    }
+
+    #[test]
+    fn matches_uniprocessor_dp() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..25 {
+            let n = rng.gen_range(1..5);
+            let exec: Vec<Time> = (0..n).map(|_| rng.gen_range(1..4)).collect();
+            let total: Time = exec.iter().sum();
+            let inst = chain_instance(exec, rng.gen_range(0..3), rng.gen_range(1..6));
+            let horizon = total + rng.gen_range(1..=total + 3);
+            let mid = rng.gen_range(1..horizon);
+            let profile = PowerProfile::from_parts(
+                vec![0, mid, horizon],
+                vec![rng.gen_range(0..8), rng.gen_range(0..8)],
+            );
+            let dp = crate::dp::dp_polynomial(&inst, &profile);
+            let bnb = solve_exact(&inst, &profile, BnbConfig::default());
+            assert!(bnb.optimal, "trial {trial}");
+            assert_eq!(bnb.cost, dp.cost, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn never_worse_than_any_heuristic() {
+        use cawo_graph::generator::{generate, Family, GeneratorConfig};
+        use cawo_heft::heft_schedule;
+        use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario};
+        let wf = generate(&GeneratorConfig::new(Family::Bacass, 10, 3));
+        let cluster = Cluster::tiny(&[4, 5], 3);
+        let mapping = heft_schedule(&wf, &cluster);
+        let inst = cawo_core::Instance::build(&wf, &cluster, &mapping);
+        let profile = ProfileConfig {
+            scenario: Scenario::SolarMorning,
+            deadline: DeadlineFactor::X15,
+            seed: 3,
+            intervals: 6,
+            perturbation: 0.1,
+        }
+        .build(&cluster, inst.asap_makespan());
+        // Seed with the best heuristic.
+        let mut best: Option<Schedule> = None;
+        let mut best_cost = Cost::MAX;
+        for v in Variant::ALL {
+            let s = v.run(&inst, &profile);
+            let c = carbon_cost(&inst, &s, &profile);
+            if c < best_cost {
+                best_cost = c;
+                best = Some(s);
+            }
+        }
+        let res = solve_exact(
+            &inst,
+            &profile,
+            BnbConfig {
+                node_limit: 5_000_000,
+                incumbent: best,
+            },
+        );
+        assert!(res.cost <= best_cost);
+        assert!(res.schedule.validate(&inst, profile.deadline()).is_ok());
+        // The ILP checker accepts the exact solution and agrees on cost.
+        let obj = crate::ilp::check_schedule_against_ilp(&inst, &profile, &res.schedule).unwrap();
+        assert_eq!(obj, res.cost);
+    }
+
+    #[test]
+    fn two_processors_interleave() {
+        // Two independent tasks on two units; green budget only fits one
+        // at a time. Optimal = serialize into the green window.
+        let dag = DagBuilder::new(2).build().unwrap();
+        let inst = Instance::from_raw(
+            dag,
+            vec![3, 3],
+            vec![0, 1],
+            vec![
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 4,
+                    is_link: false,
+                },
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 4,
+                    is_link: false,
+                },
+            ],
+            0,
+        );
+        let profile = PowerProfile::from_parts(vec![0, 10], vec![4]);
+        let res = solve_exact(&inst, &profile, BnbConfig::default());
+        assert!(res.optimal);
+        assert_eq!(res.cost, 0, "serial execution fits the budget");
+        // Check disjointness.
+        let (a, b) = (res.schedule.start(0), res.schedule.start(1));
+        assert!(a + 3 <= b || b + 3 <= a);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        let inst = chain_instance(vec![2, 2, 2], 0, 3);
+        let profile = PowerProfile::from_parts(vec![0, 20], vec![1]);
+        let res = solve_exact(
+            &inst,
+            &profile,
+            BnbConfig {
+                node_limit: 2,
+                incumbent: None,
+            },
+        );
+        assert!(!res.optimal);
+        // Incumbent (ASAP) cost is returned.
+        let asap_cost = carbon_cost(&inst, &inst.asap_schedule(), &profile);
+        assert_eq!(res.cost, asap_cost);
+    }
+
+    #[test]
+    fn respects_deadline_exactly() {
+        // Horizon exactly the ASAP makespan: only one schedule exists.
+        let inst = chain_instance(vec![2, 3], 1, 2);
+        let profile = PowerProfile::uniform(5, 0);
+        let res = solve_exact(&inst, &profile, BnbConfig::default());
+        assert!(res.optimal);
+        assert_eq!(res.schedule.start(0), 0);
+        assert_eq!(res.schedule.start(1), 2);
+        // Cost: 5 idle units (1 each) + 5 active units (2 each) = 15.
+        assert_eq!(res.cost, 15);
+    }
+
+    #[test]
+    fn base_idle_overflow_included() {
+        // Budget below idle: even an empty-looking interval costs.
+        let inst = chain_instance(vec![1], 5, 1);
+        let profile = PowerProfile::uniform(4, 2);
+        let res = solve_exact(&inst, &profile, BnbConfig::default());
+        // Idle overflow: 4 × (5-2) = 12, plus 1 active unit adds 1.
+        assert_eq!(res.cost, 13);
+        assert_eq!(res.cost, carbon_cost(&inst, &res.schedule, &profile));
+    }
+}

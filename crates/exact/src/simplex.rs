@@ -1,0 +1,421 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! This is the LP engine underneath the [`milp`](crate::milp) solver —
+//! together they let the repository *solve* the Appendix A.4 ILP without
+//! Gurobi (DESIGN.md, Substitution 1). The implementation is a textbook
+//! full-tableau method:
+//!
+//! * constraints `≤ / = / ≥` are normalised to equalities with slack,
+//!   surplus and artificial variables,
+//! * phase 1 minimises the artificial sum to find a basic feasible
+//!   solution, phase 2 optimises the real objective,
+//! * Bland's rule guarantees termination on degenerate problems.
+//!
+//! Dense tableaus are quadratic in memory, which is fine for the tiny
+//! time-indexed models the Fig. 7 comparison needs (hundreds of
+//! variables) and keeps the code auditable.
+
+/// Comparison operator of an LP constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpCmp {
+    /// `Σ a_i x_i ≤ rhs`
+    Le,
+    /// `Σ a_i x_i = rhs`
+    Eq,
+    /// `Σ a_i x_i ≥ rhs`
+    Ge,
+}
+
+/// A linear program: minimise `c·x` subject to rows, `x ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    /// Number of decision variables.
+    pub num_vars: usize,
+    /// Objective coefficients (minimisation), indexed by variable.
+    pub objective: Vec<f64>,
+    /// Constraint rows: sparse terms, comparison, right-hand side.
+    pub rows: Vec<(Vec<(usize, f64)>, LpCmp, f64)>,
+}
+
+impl LpProblem {
+    /// Creates a problem with `num_vars` variables and a zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint row.
+    pub fn add_row(&mut self, terms: Vec<(usize, f64)>, cmp: LpCmp, rhs: f64) {
+        debug_assert!(terms.iter().all(|&(v, _)| v < self.num_vars));
+        self.rows.push((terms, cmp, rhs));
+    }
+
+    /// Adds the bound `x_v ≤ ub` as a row.
+    pub fn add_upper_bound(&mut self, v: usize, ub: f64) {
+        self.add_row(vec![(v, 1.0)], LpCmp::Le, ub);
+    }
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found: objective value and variable assignment.
+    Optimal {
+        /// Minimised objective value.
+        objective: f64,
+        /// Assignment of the decision variables.
+        solution: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP with the two-phase full-tableau simplex.
+pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
+    let n = problem.num_vars;
+    let m = problem.rows.len();
+
+    // Normalise rows to `terms = rhs` with rhs >= 0, recording which
+    // auxiliary columns each row needs.
+    #[derive(Clone, Copy)]
+    enum Aux {
+        Slack,
+        SurplusArtificial,
+        Artificial,
+    }
+    let mut norm: Vec<(Vec<(usize, f64)>, f64, Aux)> = Vec::with_capacity(m);
+    for (terms, cmp, rhs) in &problem.rows {
+        let mut t = terms.clone();
+        let mut r = *rhs;
+        let mut c = *cmp;
+        if r < 0.0 {
+            for (_, a) in &mut t {
+                *a = -*a;
+            }
+            r = -r;
+            c = match c {
+                LpCmp::Le => LpCmp::Ge,
+                LpCmp::Eq => LpCmp::Eq,
+                LpCmp::Ge => LpCmp::Le,
+            };
+        }
+        let aux = match c {
+            LpCmp::Le => Aux::Slack,
+            LpCmp::Ge => Aux::SurplusArtificial,
+            LpCmp::Eq => Aux::Artificial,
+        };
+        norm.push((t, r, aux));
+    }
+
+    // Column layout: decision vars | slacks/surpluses | artificials.
+    let mut num_slack = 0;
+    let mut num_art = 0;
+    for (_, _, aux) in &norm {
+        match aux {
+            Aux::Slack => num_slack += 1,
+            Aux::SurplusArtificial => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Aux::Artificial => num_art += 1,
+        }
+    }
+    let total = n + num_slack + num_art;
+    let art_base = n + num_slack;
+
+    // Tableau: m rows × (total + 1) columns, last column = RHS.
+    let mut tab = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_cursor = n;
+    let mut art_cursor = art_base;
+    for (i, (terms, rhs, aux)) in norm.iter().enumerate() {
+        for &(v, a) in terms {
+            tab[i][v] += a;
+        }
+        tab[i][total] = *rhs;
+        match aux {
+            Aux::Slack => {
+                tab[i][slack_cursor] = 1.0;
+                basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Aux::SurplusArtificial => {
+                tab[i][slack_cursor] = -1.0;
+                slack_cursor += 1;
+                tab[i][art_cursor] = 1.0;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Aux::Artificial => {
+                tab[i][art_cursor] = 1.0;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimise the sum of artificial variables.
+    if num_art > 0 {
+        let mut obj1 = vec![0.0f64; total + 1];
+        for col in &mut obj1[art_base..total] {
+            *col = 1.0;
+        }
+        // Price out the artificial basis.
+        let obj1_snapshot = obj1.clone();
+        for (i, &b) in basis.iter().enumerate() {
+            if obj1_snapshot[b] != 0.0 {
+                let f = obj1_snapshot[b];
+                for c in 0..=total {
+                    obj1[c] -= f * tab[i][c];
+                }
+            }
+        }
+        if !run_simplex(&mut tab, &mut obj1, &mut basis, total) {
+            // Phase 1 is bounded by construction; unbounded = bug.
+            unreachable!("phase 1 objective is bounded below by 0");
+        }
+        if -obj1[total] > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= art_base {
+                if let Some(col) = (0..art_base).find(|&c| tab[i][c].abs() > EPS) {
+                    pivot(&mut tab, &mut obj1, &mut basis, i, col, total);
+                } // else: redundant row, keep the zero artificial basic.
+            }
+        }
+    }
+
+    // Phase 2: the real objective, artificials pinned at zero.
+    let mut obj = vec![0.0f64; total + 1];
+    obj[..n].copy_from_slice(&problem.objective[..n]);
+    let obj_snapshot = obj.clone();
+    for (i, &b) in basis.iter().enumerate() {
+        if obj_snapshot[b] != 0.0 {
+            let f = obj_snapshot[b];
+            for c in 0..=total {
+                obj[c] -= f * tab[i][c];
+            }
+        }
+    }
+    // Forbid artificial columns from re-entering.
+    let limit = if num_art > 0 { art_base } else { total };
+    if !run_simplex_limited(&mut tab, &mut obj, &mut basis, total, limit) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut solution = vec![0.0f64; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            solution[b] = tab[i][total];
+        }
+    }
+    LpOutcome::Optimal {
+        objective: -obj[total],
+        solution,
+    }
+}
+
+/// Runs simplex iterations until optimal (true) or unbounded (false).
+fn run_simplex(tab: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], total: usize) -> bool {
+    run_simplex_limited(tab, obj, basis, total, total)
+}
+
+fn run_simplex_limited(
+    tab: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    total: usize,
+    col_limit: usize,
+) -> bool {
+    loop {
+        // Bland's rule: smallest column with negative reduced cost.
+        let Some(enter) = (0..col_limit).find(|&c| obj[c] < -EPS) else {
+            return true;
+        };
+        // Ratio test, ties by smallest basis index (Bland).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for (i, row) in tab.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[total] / row[enter];
+                let better = match leave {
+                    None => true,
+                    Some(l) => ratio < best - EPS || (ratio < best + EPS && basis[i] < basis[l]),
+                };
+                if better {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot(tab, obj, basis, leave, enter, total);
+    }
+}
+
+/// Gauss-Jordan pivot on (row, col).
+fn pivot(
+    tab: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    let p = tab[row][col];
+    debug_assert!(p.abs() > EPS);
+    for c in 0..=total {
+        tab[row][c] /= p;
+    }
+    for i in 0..tab.len() {
+        if i != row && tab[i][col].abs() > EPS {
+            let f = tab[i][col];
+            for c in 0..=total {
+                tab[i][c] -= f * tab[row][c];
+            }
+        }
+    }
+    if obj[col].abs() > EPS {
+        let f = obj[col];
+        for c in 0..=total {
+            obj[c] -= f * tab[row][c];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(o: LpOutcome) -> (f64, Vec<f64>) {
+        match o {
+            LpOutcome::Optimal {
+                objective,
+                solution,
+            } => (objective, solution),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximisation_via_negated_objective() {
+        // max x + y s.t. x + y <= 4, x <= 2  ⇒  min -(x+y) = -4.
+        let mut p = LpProblem::new(2);
+        p.objective = vec![-1.0, -1.0];
+        p.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Le, 4.0);
+        p.add_row(vec![(0, 1.0)], LpCmp::Le, 2.0);
+        let (obj, sol) = optimal(solve_lp(&p));
+        assert!((obj + 4.0).abs() < 1e-6);
+        assert!((sol[0] + sol[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x s.t. x + y = 3 ⇒ x = 0, y = 3.
+        let mut p = LpProblem::new(2);
+        p.objective = vec![1.0, 0.0];
+        p.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Eq, 3.0);
+        let (obj, sol) = optimal(solve_lp(&p));
+        assert!(obj.abs() < 1e-6);
+        assert!((sol[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min x s.t. x >= 2.5 ⇒ 2.5.
+        let mut p = LpProblem::new(1);
+        p.objective = vec![1.0];
+        p.add_row(vec![(0, 1.0)], LpCmp::Ge, 2.5);
+        let (obj, _) = optimal(solve_lp(&p));
+        assert!((obj - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = LpProblem::new(1);
+        p.objective = vec![0.0];
+        p.add_row(vec![(0, 1.0)], LpCmp::Ge, 2.0);
+        p.add_row(vec![(0, 1.0)], LpCmp::Le, 1.0);
+        assert_eq!(solve_lp(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut p = LpProblem::new(1);
+        p.objective = vec![-1.0];
+        assert_eq!(solve_lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // x - y <= -1 with x,y >= 0: e.g. y >= x + 1. min y ⇒ y = 1.
+        let mut p = LpProblem::new(2);
+        p.objective = vec![0.0, 1.0];
+        p.add_row(vec![(0, 1.0), (1, -1.0)], LpCmp::Le, -1.0);
+        let (obj, _) = optimal(solve_lp(&p));
+        assert!((obj - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the origin.
+        let mut p = LpProblem::new(2);
+        p.objective = vec![-1.0, -1.0];
+        p.add_row(vec![(0, 1.0)], LpCmp::Le, 0.0);
+        p.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Le, 1.0);
+        p.add_row(vec![(1, 1.0)], LpCmp::Le, 1.0);
+        let (obj, sol) = optimal(solve_lp(&p));
+        assert!((obj + 1.0).abs() < 1e-6);
+        assert!(sol[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bound_helper() {
+        let mut p = LpProblem::new(1);
+        p.objective = vec![-1.0];
+        p.add_upper_bound(0, 0.75);
+        let (obj, sol) = optimal(solve_lp(&p));
+        assert!((obj + 0.75).abs() < 1e-6);
+        assert!((sol[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // Two identical equalities: phase 1 leaves a zero artificial in
+        // the basis for the redundant row.
+        let mut p = LpProblem::new(2);
+        p.objective = vec![1.0, 2.0];
+        p.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Eq, 2.0);
+        p.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Eq, 2.0);
+        let (obj, sol) = optimal(solve_lp(&p));
+        assert!((sol[0] + sol[1] - 2.0).abs() < 1e-6);
+        assert!((obj - 2.0).abs() < 1e-6); // all mass on x0
+    }
+
+    #[test]
+    fn diet_style_problem() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 1.
+        let mut p = LpProblem::new(2);
+        p.objective = vec![2.0, 3.0];
+        p.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Ge, 4.0);
+        p.add_row(vec![(0, 1.0)], LpCmp::Ge, 1.0);
+        p.add_row(vec![(1, 1.0)], LpCmp::Ge, 1.0);
+        let (obj, sol) = optimal(solve_lp(&p));
+        // Push everything onto the cheaper x: x = 3, y = 1.
+        assert!((sol[0] - 3.0).abs() < 1e-6);
+        assert!((sol[1] - 1.0).abs() < 1e-6);
+        assert!((obj - 9.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,35 @@
+//! DAG substrate and workflow model for the CaWoSched reproduction.
+//!
+//! This crate provides everything the scheduler needs to know about the
+//! *application*:
+//!
+//! * [`Dag`] — a compact CSR-based directed acyclic graph with Kahn
+//!   topological ordering and reachability helpers,
+//! * [`Workflow`] — a DAG decorated with normalized vertex (computation)
+//!   and edge (communication) weights, as defined in §3 of the paper,
+//! * [`generator`] — synthetic workflow families (atacseq, bacass, eager,
+//!   methylseq) scaled to a target number of vertices in the style of
+//!   WfGen, as used in §6.1 of the paper,
+//! * [`dot`] — import/export of the `.dot` exchange format the paper uses
+//!   for Nextflow-derived traces,
+//! * [`wfjson`] — import of WfCommons JSON instances (the project behind
+//!   the paper's WfGen generator).
+//!
+//! All quantities are integers: the paper fixes a time unit and expresses
+//! every parameter as an integer multiple of it.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod dot;
+pub mod generator;
+pub mod wfjson;
+pub mod workflow;
+
+pub use dag::{Dag, DagBuilder, DagError, NodeId};
+pub use generator::{Family, GeneratorConfig, WeightDistribution};
+pub use workflow::{EdgeId, Workflow, WorkflowBuilder};
+
+/// Weight of a vertex (normalized computation demand) or an edge
+/// (normalized communication volume). Integer per the paper's framework.
+pub type Weight = u64;

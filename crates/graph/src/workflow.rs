@@ -1,0 +1,232 @@
+//! Weighted workflow: the application model `G = (V, E, ω, c)` of §3.
+//!
+//! Vertex weights are *normalized* computation demands — the actual running
+//! time of a task is `weight / speed(processor)` as computed by the
+//! platform crate. Edge weights are normalized communication volumes; the
+//! paper normalizes network bandwidth to 1, so the communication time of a
+//! cross-processor edge equals its weight.
+
+use crate::dag::{Dag, DagBuilder, DagError, NodeId};
+use crate::Weight;
+
+/// Dense edge identifier (position in sorted `(source, target)` order).
+pub type EdgeId = usize;
+
+/// A workflow DAG with computation and communication weights.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    name: String,
+    dag: Dag,
+    node_weight: Vec<Weight>,
+    edge_weight: Vec<Weight>,
+}
+
+impl Workflow {
+    /// Workflow name (family plus size for generated instances).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Underlying DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Number of tasks `n = |V|`.
+    pub fn task_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of dependence edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.dag.edge_count()
+    }
+
+    /// Normalized computation weight `ω(v)`.
+    pub fn node_weight(&self, v: NodeId) -> Weight {
+        self.node_weight[v as usize]
+    }
+
+    /// All node weights, indexed by node id.
+    pub fn node_weights(&self) -> &[Weight] {
+        &self.node_weight
+    }
+
+    /// Normalized communication weight of the dense edge `e`.
+    pub fn edge_weight(&self, e: EdgeId) -> Weight {
+        self.edge_weight[e]
+    }
+
+    /// Communication weight of edge `(u, v)`, if present.
+    pub fn edge_weight_between(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.dag.edge_position(u, v).map(|e| self.edge_weight[e])
+    }
+
+    /// Sum of all node weights (total normalized work).
+    pub fn total_work(&self) -> Weight {
+        self.node_weight.iter().sum()
+    }
+
+    /// Length (in normalized weight) of the longest weighted path, ignoring
+    /// communication. A lower bound on any makespan at unit speed.
+    pub fn critical_path_weight(&self) -> Weight {
+        let order = self
+            .dag
+            .topological_order()
+            .expect("workflow DAG is acyclic");
+        let mut dist = vec![0 as Weight; self.task_count()];
+        let mut best = 0;
+        for &u in &order {
+            let d = dist[u as usize] + self.node_weight(u);
+            best = best.max(d);
+            for &v in self.dag.successors(u) {
+                dist[v as usize] = dist[v as usize].max(d);
+            }
+        }
+        best
+    }
+
+    /// Renames the workflow (used when scaling model graphs).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// Builder pairing a [`DagBuilder`] with weight assignment.
+#[derive(Debug, Default, Clone)]
+pub struct WorkflowBuilder {
+    name: String,
+    dag: DagBuilder,
+    node_weight: Vec<Weight>,
+    edge_weight: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl WorkflowBuilder {
+    /// Creates an empty builder with the given workflow name.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            dag: DagBuilder::new(0),
+            node_weight: Vec::new(),
+            edge_weight: Vec::new(),
+        }
+    }
+
+    /// Adds a task with computation weight `w` and returns its id.
+    pub fn add_task(&mut self, w: Weight) -> NodeId {
+        self.node_weight.push(w);
+        self.dag.add_node()
+    }
+
+    /// Adds a dependence edge with communication weight `c`.
+    ///
+    /// If `(u, v)` is inserted twice, the *maximum* weight wins (duplicate
+    /// edges collapse to one in the DAG).
+    pub fn add_dependence(&mut self, u: NodeId, v: NodeId, c: Weight) {
+        self.dag.add_edge(u, v);
+        self.edge_weight.push((u, v, c));
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.node_weight.len()
+    }
+
+    /// Validates the DAG and freezes the workflow.
+    pub fn build(self) -> Result<Workflow, DagError> {
+        let dag = self.dag.build()?;
+        let mut edge_weight = vec![0 as Weight; dag.edge_count()];
+        for (u, v, c) in self.edge_weight {
+            let e = dag
+                .edge_position(u, v)
+                .expect("edge recorded in builder must exist in built DAG");
+            edge_weight[e] = edge_weight[e].max(c);
+        }
+        Ok(Workflow {
+            name: self.name,
+            dag,
+            node_weight: self.node_weight,
+            edge_weight,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Workflow {
+        let mut b = WorkflowBuilder::new("chain3");
+        let a = b.add_task(10);
+        let c = b.add_task(20);
+        let d = b.add_task(30);
+        b.add_dependence(a, c, 5);
+        b.add_dependence(c, d, 7);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weights_roundtrip() {
+        let w = chain3();
+        assert_eq!(w.name(), "chain3");
+        assert_eq!(w.task_count(), 3);
+        assert_eq!(w.edge_count(), 2);
+        assert_eq!(w.node_weight(0), 10);
+        assert_eq!(w.node_weight(2), 30);
+        assert_eq!(w.edge_weight_between(0, 1), Some(5));
+        assert_eq!(w.edge_weight_between(1, 2), Some(7));
+        assert_eq!(w.edge_weight_between(0, 2), None);
+    }
+
+    #[test]
+    fn totals() {
+        let w = chain3();
+        assert_eq!(w.total_work(), 60);
+        assert_eq!(w.critical_path_weight(), 60);
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let mut b = WorkflowBuilder::new("d");
+        let s = b.add_task(1);
+        let l = b.add_task(100);
+        let r = b.add_task(2);
+        let t = b.add_task(1);
+        b.add_dependence(s, l, 1);
+        b.add_dependence(s, r, 1);
+        b.add_dependence(l, t, 1);
+        b.add_dependence(r, t, 1);
+        let w = b.build().unwrap();
+        assert_eq!(w.critical_path_weight(), 102);
+    }
+
+    #[test]
+    fn duplicate_edges_take_max_weight() {
+        let mut b = WorkflowBuilder::new("dup");
+        let a = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_dependence(a, c, 3);
+        b.add_dependence(a, c, 9);
+        b.add_dependence(a, c, 4);
+        let w = b.build().unwrap();
+        assert_eq!(w.edge_count(), 1);
+        assert_eq!(w.edge_weight_between(a, c), Some(9));
+    }
+
+    #[test]
+    fn cyclic_build_fails() {
+        let mut b = WorkflowBuilder::new("cyc");
+        let a = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_dependence(a, c, 1);
+        b.add_dependence(c, a, 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rename() {
+        let w = chain3().with_name("other");
+        assert_eq!(w.name(), "other");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the DAG substrate and generator.
+
+use proptest::prelude::*;
+
+use cawo_graph::dag::DagBuilder;
+use cawo_graph::dot;
+use cawo_graph::generator::{generate, Family, GeneratorConfig};
+use cawo_graph::{NodeId, WorkflowBuilder};
+
+/// Strategy: a random DAG given as forward edges over `n` nodes
+/// (`u < v` guarantees acyclicity).
+fn forward_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32 - 1).prop_flat_map(move |u| (Just(u), (u + 1..n as u32))),
+            0..n * 3,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_accepts_forward_edges((n, edges) in forward_edges(24)) {
+        let mut b = DagBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let dag = b.build().expect("forward edges are acyclic");
+        // Edge count never exceeds input (duplicates merged).
+        prop_assert!(dag.edge_count() <= edges.len());
+        // Kahn order is valid.
+        let order = dag.topological_order().expect("acyclic");
+        prop_assert!(dag.is_topological_order(&order));
+        // Degrees are consistent.
+        let m: usize = (0..n as NodeId).map(|v| dag.out_degree(v)).sum();
+        prop_assert_eq!(m, dag.edge_count());
+        let m_in: usize = (0..n as NodeId).map(|v| dag.in_degree(v)).sum();
+        prop_assert_eq!(m_in, dag.edge_count());
+    }
+
+    #[test]
+    fn edge_position_roundtrips((n, edges) in forward_edges(16)) {
+        let mut b = DagBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let dag = b.build().unwrap();
+        for e in 0..dag.edge_count() {
+            let (u, v) = dag.edge_endpoints(e);
+            prop_assert_eq!(dag.edge_position(u, v), Some(e));
+        }
+    }
+
+    #[test]
+    fn reversed_order_is_invalid_unless_empty((n, edges) in forward_edges(12)) {
+        let mut b = DagBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let dag = b.build().unwrap();
+        let mut order = dag.topological_order().unwrap();
+        order.reverse();
+        if dag.edge_count() > 0 {
+            prop_assert!(!dag.is_topological_order(&order));
+        } else {
+            prop_assert!(dag.is_topological_order(&order));
+        }
+    }
+
+    #[test]
+    fn levels_respect_edges((n, edges) in forward_edges(16)) {
+        let mut b = DagBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let dag = b.build().unwrap();
+        let levels = dag.levels();
+        for (u, v) in dag.edges() {
+            prop_assert!(levels[u as usize] < levels[v as usize]);
+        }
+    }
+
+    #[test]
+    fn generator_respects_structure(
+        family_idx in 0usize..4,
+        target in 20usize..600,
+        seed in any::<u64>(),
+    ) {
+        let family = Family::ALL[family_idx];
+        let wf = generate(&GeneratorConfig::new(family, target, seed));
+        prop_assert!(wf.dag().topological_order().is_some());
+        prop_assert!(wf.dag().is_weakly_connected());
+        // Every task weight is positive, every edge weight positive.
+        prop_assert!(wf.node_weights().iter().all(|&w| w > 0));
+        for e in 0..wf.edge_count() {
+            prop_assert!(wf.edge_weight(e) > 0);
+        }
+        // Critical path is bounded by total work.
+        prop_assert!(wf.critical_path_weight() <= wf.total_work());
+    }
+
+    #[test]
+    fn dot_roundtrip_arbitrary_workflows(
+        family_idx in 0usize..4,
+        target in 10usize..120,
+        seed in any::<u64>(),
+    ) {
+        let wf = generate(&GeneratorConfig::new(Family::ALL[family_idx], target, seed));
+        let parsed = dot::from_dot(&dot::to_dot(&wf)).unwrap();
+        prop_assert_eq!(parsed.task_count(), wf.task_count());
+        prop_assert_eq!(parsed.edge_count(), wf.edge_count());
+        prop_assert_eq!(parsed.total_work(), wf.total_work());
+        prop_assert_eq!(parsed.critical_path_weight(), wf.critical_path_weight());
+    }
+
+    #[test]
+    fn workflow_builder_arbitrary_weights(
+        weights in proptest::collection::vec(1u64..1000, 1..20),
+    ) {
+        let mut b = WorkflowBuilder::new("prop");
+        let ids: Vec<NodeId> = weights.iter().map(|&w| b.add_task(w)).collect();
+        for w in ids.windows(2) {
+            b.add_dependence(w[0], w[1], 1);
+        }
+        let wf = b.build().unwrap();
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(wf.total_work(), total);
+        prop_assert_eq!(wf.critical_path_weight(), total); // chain
+    }
+}

@@ -1,0 +1,29 @@
+//! Platform model for the CaWoSched reproduction.
+//!
+//! Covers §3 ("Platform and application", "Power profile") and the §6.1
+//! simulation setup:
+//!
+//! * [`ProcessorType`] / [`PAPER_PROCESSOR_TYPES`] — the six processor
+//!   types of Table 1 (speed, idle power, working power),
+//! * [`Cluster`] — a heterogeneous cluster plus the `P(P-1)` fictional
+//!   *link processors* of the fully connected full-duplex topology,
+//! * [`profile`] — time horizons divided into intervals with per-interval
+//!   green power budgets (scenarios S1–S4, deadline factors 1×–3×).
+//!
+//! All quantities are integer multiples of the paper's time/power units.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod processor;
+pub mod profile;
+
+pub use cluster::{Cluster, LinkId, ProcId};
+pub use processor::{ProcessorType, PAPER_PROCESSOR_TYPES};
+pub use profile::{DeadlineFactor, PowerProfile, ProfileConfig, Scenario};
+
+/// Discrete time (integer multiples of the paper's time unit).
+pub type Time = u64;
+
+/// Power in the paper's abstract power units.
+pub type Power = u64;

@@ -1,0 +1,406 @@
+//! Green power profiles: the time-varying renewable supply of §3/§6.1.
+//!
+//! The horizon `[0, T)` is divided into `J` intervals; interval `I_j`
+//! carries a constant green budget `G_j` per time unit. Power drawn above
+//! the budget is "brown" and counts as carbon cost. Four scenario shapes
+//! (§6.1) and four deadline factors produce the paper's 16 profiles per
+//! workflow:
+//!
+//! * **S1** `-x²`: little green power early, rising, falling again
+//!   (solar, morning to evening),
+//! * **S2** `x²`: the same day but starting from midday,
+//! * **S3** `sin`: 24 h following a sine with little power early,
+//! * **S4** constant: storage-backed renewables or nuclear.
+//!
+//! Budgets are clamped to `[Σ P_idle, Σ P_idle + 0.8 · Σ P_work]` so that
+//! scheduling decisions actually matter (§6.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::Cluster;
+use crate::{Power, Time};
+
+/// The four renewable-supply scenarios of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// S1: `-x²` shape — peak in the middle of the horizon.
+    SolarMorning,
+    /// S2: `x²` shape — high at both ends, trough in the middle.
+    SolarMidday,
+    /// S3: sine over `[0, 2π]` with little power at the start.
+    Sinusoidal,
+    /// S4: constant budget with perturbations.
+    Constant,
+}
+
+impl Scenario {
+    /// All scenarios in paper order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::SolarMorning,
+        Scenario::SolarMidday,
+        Scenario::Sinusoidal,
+        Scenario::Constant,
+    ];
+
+    /// Paper label (`"S1"`…`"S4"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::SolarMorning => "S1",
+            Scenario::SolarMidday => "S2",
+            Scenario::Sinusoidal => "S3",
+            Scenario::Constant => "S4",
+        }
+    }
+
+    /// Normalized shape value in `[0, 1]` at relative position
+    /// `x ∈ [0, 1]` within the horizon (before perturbation).
+    fn shape(self, x: f64) -> f64 {
+        match self {
+            // Inverted parabola: 0 at both ends, 1 at x = 1/2.
+            Scenario::SolarMorning => 1.0 - (2.0 * x - 1.0).powi(2),
+            // Parabola: 1 at both ends, 0 at x = 1/2.
+            Scenario::SolarMidday => (2.0 * x - 1.0).powi(2),
+            // One sine period starting low: (1 - cos 2πx)/2.
+            Scenario::Sinusoidal => 0.5 * (1.0 - (2.0 * std::f64::consts::PI * x).cos()),
+            Scenario::Constant => 0.5,
+        }
+    }
+}
+
+/// Deadline tolerance factors relative to the ASAP makespan `D` (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadlineFactor {
+    /// `T = D` — the tightest deadline.
+    X10,
+    /// `T = 1.5 D`.
+    X15,
+    /// `T = 2 D`.
+    X20,
+    /// `T = 3 D`.
+    X30,
+}
+
+impl DeadlineFactor {
+    /// All factors in paper order.
+    pub const ALL: [DeadlineFactor; 4] = [
+        DeadlineFactor::X10,
+        DeadlineFactor::X15,
+        DeadlineFactor::X20,
+        DeadlineFactor::X30,
+    ];
+
+    /// Factor as a float (for reports).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            DeadlineFactor::X10 => 1.0,
+            DeadlineFactor::X15 => 1.5,
+            DeadlineFactor::X20 => 2.0,
+            DeadlineFactor::X30 => 3.0,
+        }
+    }
+
+    /// Applies the factor to the ASAP makespan, rounding up to keep the
+    /// deadline feasible.
+    pub fn apply(self, asap_makespan: Time) -> Time {
+        match self {
+            DeadlineFactor::X10 => asap_makespan,
+            DeadlineFactor::X15 => asap_makespan + asap_makespan.div_ceil(2),
+            DeadlineFactor::X20 => 2 * asap_makespan,
+            DeadlineFactor::X30 => 3 * asap_makespan,
+        }
+    }
+}
+
+/// Configuration from which a [`PowerProfile`] is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileConfig {
+    /// Scenario shape.
+    pub scenario: Scenario,
+    /// Deadline tolerance.
+    pub deadline: DeadlineFactor,
+    /// Seed for the random perturbations.
+    pub seed: u64,
+    /// Target number of intervals `J` (clamped to the horizon length).
+    pub intervals: usize,
+    /// Relative perturbation amplitude (uniform in `±perturbation`).
+    pub perturbation: f64,
+}
+
+impl ProfileConfig {
+    /// Paper-style config: 48 intervals, ±15 % perturbation.
+    pub fn new(scenario: Scenario, deadline: DeadlineFactor, seed: u64) -> Self {
+        ProfileConfig {
+            scenario,
+            deadline,
+            seed,
+            intervals: 48,
+            perturbation: 0.15,
+        }
+    }
+
+    /// Generates the profile for a platform whose ASAP schedule finishes
+    /// at `asap_makespan`.
+    pub fn build(&self, cluster: &Cluster, asap_makespan: Time) -> PowerProfile {
+        let horizon = self.deadline.apply(asap_makespan.max(1));
+        self.build_over_horizon(cluster, horizon)
+    }
+
+    /// Generates the profile over an explicit horizon `T`.
+    pub fn build_over_horizon(&self, cluster: &Cluster, horizon: Time) -> PowerProfile {
+        assert!(horizon > 0, "horizon must be positive");
+        let j = (self.intervals as u64).clamp(1, horizon) as usize;
+        let idle = cluster.total_idle_power();
+        let work = cluster.total_work_power();
+        let green_span = (0.8 * work as f64).floor();
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_0000_0001);
+        let mut boundaries = Vec::with_capacity(j + 1);
+        let mut budgets = Vec::with_capacity(j);
+        boundaries.push(0);
+        for k in 0..j {
+            // Near-equal integer interval lengths covering [0, T) exactly.
+            let end = (horizon as u128 * (k as u128 + 1) / j as u128) as Time;
+            let x = (k as f64 + 0.5) / j as f64;
+            let mut v = self.scenario.shape(x);
+            if self.perturbation > 0.0 {
+                v *= 1.0 + rng.gen_range(-self.perturbation..=self.perturbation);
+            }
+            let v = v.clamp(0.0, 1.0);
+            budgets.push(idle + (v * green_span).round() as Power);
+            boundaries.push(end);
+        }
+        // Degenerate interval boundaries can coincide when T < J; drop
+        // zero-length intervals.
+        let mut clean_b = vec![0 as Time];
+        let mut clean_g = Vec::new();
+        for k in 0..j {
+            if boundaries[k + 1] > *clean_b.last().unwrap() {
+                clean_b.push(boundaries[k + 1]);
+                clean_g.push(budgets[k]);
+            }
+        }
+        PowerProfile {
+            boundaries: clean_b,
+            budgets: clean_g,
+        }
+    }
+}
+
+/// A generated green-power profile: interval boundaries and budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerProfile {
+    /// `J + 1` boundaries `0 = b_1 < e_1 < … < e_J = T` (the set `E`).
+    boundaries: Vec<Time>,
+    /// Budget `G_j` of each interval.
+    budgets: Vec<Power>,
+}
+
+impl PowerProfile {
+    /// Builds a profile directly from boundaries and budgets. Boundaries
+    /// must be strictly increasing and start at 0.
+    pub fn from_parts(boundaries: Vec<Time>, budgets: Vec<Power>) -> Self {
+        assert!(boundaries.len() >= 2, "need at least one interval");
+        assert_eq!(boundaries.len(), budgets.len() + 1);
+        assert_eq!(boundaries[0], 0);
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must increase"
+        );
+        PowerProfile {
+            boundaries,
+            budgets,
+        }
+    }
+
+    /// Uniform-budget profile over `[0, T)` (useful for tests).
+    pub fn uniform(horizon: Time, budget: Power) -> Self {
+        Self::from_parts(vec![0, horizon], vec![budget])
+    }
+
+    /// The deadline `T` (end of the horizon).
+    pub fn deadline(&self) -> Time {
+        *self.boundaries.last().unwrap()
+    }
+
+    /// Number of intervals `J`.
+    pub fn interval_count(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Interval boundaries (the set `E`, length `J + 1`).
+    pub fn boundaries(&self) -> &[Time] {
+        &self.boundaries
+    }
+
+    /// Budget `G_j` of interval `j` (0-based).
+    pub fn budget(&self, j: usize) -> Power {
+        self.budgets[j]
+    }
+
+    /// All budgets.
+    pub fn budgets(&self) -> &[Power] {
+        &self.budgets
+    }
+
+    /// Half-open span `[b_j, e_j)` of interval `j`.
+    pub fn interval_span(&self, j: usize) -> (Time, Time) {
+        (self.boundaries[j], self.boundaries[j + 1])
+    }
+
+    /// Index of the interval containing time `t < T`.
+    pub fn interval_of(&self, t: Time) -> usize {
+        debug_assert!(t < self.deadline());
+        match self.boundaries.binary_search(&t) {
+            Ok(j) => j.min(self.budgets.len() - 1),
+            Err(j) => j - 1,
+        }
+    }
+
+    /// Budget at time `t`.
+    pub fn budget_at(&self, t: Time) -> Power {
+        self.budgets[self.interval_of(t)]
+    }
+
+    /// Total green energy over the horizon: `Σ_j G_j · ℓ_j`.
+    pub fn total_green_energy(&self) -> u128 {
+        self.budgets
+            .iter()
+            .zip(self.boundaries.windows(2))
+            .map(|(&g, w)| g as u128 * (w[1] - w[0]) as u128)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cluster() -> Cluster {
+        Cluster::tiny(&[0, 1], 1)
+    }
+
+    #[test]
+    fn shapes_are_in_unit_range() {
+        for s in Scenario::ALL {
+            for k in 0..=100 {
+                let x = k as f64 / 100.0;
+                let v = s.shape(x);
+                assert!((0.0..=1.0).contains(&v), "{s:?} at {x}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_characteristics() {
+        // S1 peaks mid-horizon, S2 troughs there.
+        assert!(Scenario::SolarMorning.shape(0.5) > Scenario::SolarMorning.shape(0.05));
+        assert!(Scenario::SolarMidday.shape(0.5) < Scenario::SolarMidday.shape(0.05));
+        // S3 starts low.
+        assert!(Scenario::Sinusoidal.shape(0.01) < 0.05);
+        // S4 flat.
+        assert_eq!(Scenario::Constant.shape(0.1), Scenario::Constant.shape(0.9));
+    }
+
+    #[test]
+    fn deadline_factors() {
+        assert_eq!(DeadlineFactor::X10.apply(100), 100);
+        assert_eq!(DeadlineFactor::X15.apply(100), 150);
+        assert_eq!(DeadlineFactor::X15.apply(101), 152); // rounds up
+        assert_eq!(DeadlineFactor::X20.apply(100), 200);
+        assert_eq!(DeadlineFactor::X30.apply(100), 300);
+    }
+
+    #[test]
+    fn profile_covers_horizon_exactly() {
+        let c = tiny_cluster();
+        let cfg = ProfileConfig::new(Scenario::SolarMorning, DeadlineFactor::X15, 3);
+        let p = cfg.build(&c, 1000);
+        assert_eq!(p.deadline(), 1500);
+        assert_eq!(p.boundaries()[0], 0);
+        assert!(p.boundaries().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(p.interval_count() + 1, p.boundaries().len());
+    }
+
+    #[test]
+    fn budgets_respect_clamps() {
+        let c = tiny_cluster();
+        let idle = c.total_idle_power();
+        let work = c.total_work_power();
+        for s in Scenario::ALL {
+            let cfg = ProfileConfig::new(s, DeadlineFactor::X20, 11);
+            let p = cfg.build(&c, 500);
+            for &g in p.budgets() {
+                assert!(g >= idle, "budget below idle floor");
+                assert!(g <= idle + (0.8 * work as f64) as Power + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn short_horizons_shrink_interval_count() {
+        let c = tiny_cluster();
+        let cfg = ProfileConfig::new(Scenario::Constant, DeadlineFactor::X10, 0);
+        let p = cfg.build(&c, 5);
+        assert_eq!(p.deadline(), 5);
+        assert!(p.interval_count() <= 5);
+        assert!(p.boundaries().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = tiny_cluster();
+        let cfg = ProfileConfig::new(Scenario::Sinusoidal, DeadlineFactor::X30, 42);
+        assert_eq!(cfg.build(&c, 777), cfg.build(&c, 777));
+        let other = ProfileConfig::new(Scenario::Sinusoidal, DeadlineFactor::X30, 43);
+        assert_ne!(cfg.build(&c, 777).budgets(), other.build(&c, 777).budgets());
+    }
+
+    #[test]
+    fn interval_lookup() {
+        let p = PowerProfile::from_parts(vec![0, 10, 20, 35], vec![5, 7, 9]);
+        assert_eq!(p.interval_of(0), 0);
+        assert_eq!(p.interval_of(9), 0);
+        assert_eq!(p.interval_of(10), 1);
+        assert_eq!(p.interval_of(34), 2);
+        assert_eq!(p.budget_at(12), 7);
+        assert_eq!(p.interval_span(1), (10, 20));
+    }
+
+    #[test]
+    fn total_green_energy() {
+        let p = PowerProfile::from_parts(vec![0, 10, 20], vec![3, 5]);
+        assert_eq!(p.total_green_energy(), 30 + 50);
+    }
+
+    #[test]
+    fn uniform_profile() {
+        let p = PowerProfile::uniform(100, 42);
+        assert_eq!(p.interval_count(), 1);
+        assert_eq!(p.budget_at(99), 42);
+        assert_eq!(p.deadline(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries must increase")]
+    fn rejects_nonincreasing_boundaries() {
+        let _ = PowerProfile::from_parts(vec![0, 10, 10], vec![1, 2]);
+    }
+
+    #[test]
+    fn s1_profile_is_higher_mid_horizon() {
+        let c = Cluster::paper_small(5);
+        let cfg = ProfileConfig {
+            scenario: Scenario::SolarMorning,
+            deadline: DeadlineFactor::X10,
+            seed: 5,
+            intervals: 48,
+            perturbation: 0.0,
+        };
+        let p = cfg.build(&c, 4800);
+        let mid = p.budget(24);
+        let early = p.budget(0);
+        let late = p.budget(47);
+        assert!(mid > early && mid > late);
+    }
+}

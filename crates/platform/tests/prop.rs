@@ -1,0 +1,115 @@
+//! Property-based tests for the platform model.
+
+use proptest::prelude::*;
+
+use cawo_platform::processor::{exec_time, REFERENCE_SPEED};
+use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario};
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        Just(Scenario::SolarMorning),
+        Just(Scenario::SolarMidday),
+        Just(Scenario::Sinusoidal),
+        Just(Scenario::Constant),
+    ]
+}
+
+fn any_deadline() -> impl Strategy<Value = DeadlineFactor> {
+    prop_oneof![
+        Just(DeadlineFactor::X10),
+        Just(DeadlineFactor::X15),
+        Just(DeadlineFactor::X20),
+        Just(DeadlineFactor::X30),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn profiles_partition_the_horizon(
+        scenario in any_scenario(),
+        deadline in any_deadline(),
+        seed in any::<u64>(),
+        asap in 1u64..5000,
+        intervals in 1usize..96,
+    ) {
+        let cluster = Cluster::tiny(&[0, 3], seed);
+        let cfg = ProfileConfig { scenario, deadline, seed, intervals, perturbation: 0.15 };
+        let p = cfg.build(&cluster, asap);
+        // Boundaries strictly increase from 0 to T.
+        prop_assert_eq!(p.boundaries()[0], 0);
+        prop_assert_eq!(*p.boundaries().last().unwrap(), deadline.apply(asap));
+        prop_assert!(p.boundaries().windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(p.interval_count() + 1, p.boundaries().len());
+        // Budgets within §6.1 clamps.
+        let idle = cluster.total_idle_power();
+        let hi = idle + (0.8 * cluster.total_work_power() as f64) as u64 + 1;
+        for &g in p.budgets() {
+            prop_assert!(g >= idle && g <= hi);
+        }
+        // Lookup agrees with the span structure.
+        for j in 0..p.interval_count() {
+            let (b, e) = p.interval_span(j);
+            prop_assert_eq!(p.interval_of(b), j);
+            prop_assert_eq!(p.interval_of(e - 1), j);
+        }
+    }
+
+    #[test]
+    fn deadline_factor_monotone(asap in 1u64..100_000) {
+        let d10 = DeadlineFactor::X10.apply(asap);
+        let d15 = DeadlineFactor::X15.apply(asap);
+        let d20 = DeadlineFactor::X20.apply(asap);
+        let d30 = DeadlineFactor::X30.apply(asap);
+        prop_assert!(d10 <= d15 && d15 <= d20 && d20 <= d30);
+        prop_assert_eq!(d10, asap);
+        // 1.5x rounds up, never below the true product.
+        prop_assert!(2 * d15 >= 3 * asap);
+    }
+
+    #[test]
+    fn exec_time_properties(w in 1u64..10_000, speed in 1u64..64) {
+        let t = exec_time(w, speed);
+        prop_assert!(t >= 1);
+        // Faster is never slower.
+        if speed > 1 {
+            prop_assert!(exec_time(w, speed - 1) >= t);
+        }
+        // Reference speed is identity.
+        prop_assert_eq!(exec_time(w, REFERENCE_SPEED), w);
+    }
+
+    #[test]
+    fn link_ids_bijective(num_types in 1usize..5, seed in any::<u64>()) {
+        let types: Vec<usize> = (0..num_types).collect();
+        let c = Cluster::tiny(&types, seed);
+        let p = c.proc_count() as u32;
+        let mut seen = vec![false; c.link_count()];
+        for a in 0..p {
+            for b in 0..p {
+                if a != b {
+                    let id = c.link_id(a, b) as usize;
+                    prop_assert!(!seen[id]);
+                    seen[id] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn total_green_energy_matches_manual_sum(
+        seed in any::<u64>(),
+        asap in 10u64..1000,
+    ) {
+        let cluster = Cluster::tiny(&[1], seed);
+        let cfg = ProfileConfig::new(Scenario::Sinusoidal, DeadlineFactor::X20, seed);
+        let p = cfg.build(&cluster, asap);
+        let manual: u128 = (0..p.interval_count())
+            .map(|j| {
+                let (b, e) = p.interval_span(j);
+                p.budget(j) as u128 * (e - b) as u128
+            })
+            .sum();
+        prop_assert_eq!(p.total_green_energy(), manual);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dumps the raw experiment grid as CSV (one row per instance ×
+//! variant) for downstream analysis, mirroring the paper's
+//! reproducibility artifacts.
+//!
+//! ```text
+//! experiments [--scale quick|medium|full] [--seed N]
+//! ```
+
+use cawo_sim::experiment::{run_grid, size_class, ExperimentConfig, GridScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = GridScale::Quick;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale =
+                    GridScale::parse(args.get(i).map_or("", |s| s.as_str())).unwrap_or_else(|| {
+                        eprintln!("expected --scale quick|medium|full");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("expected --seed <u64>");
+                    std::process::exit(2);
+                });
+            }
+            a => {
+                eprintln!("unexpected argument {a}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("running grid (scale {scale:?}, seed {seed}) ...");
+    let cfg = ExperimentConfig::new(scale, seed);
+    let results = run_grid(&cfg);
+    eprintln!("{} instances done", results.len());
+
+    println!(
+        "instance,family,size,size_class,cluster,scenario,deadline,\
+         n_tasks,gc_nodes,asap_makespan,variant,cost,millis"
+    );
+    for r in &results {
+        for (i, &v) in r.variants.iter().enumerate() {
+            println!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
+                r.spec.id(),
+                r.spec.family.name(),
+                r.spec
+                    .scaled_to
+                    .map_or_else(|| "real".to_string(), |n| n.to_string()),
+                size_class(r.n_tasks),
+                r.spec.cluster.name(),
+                r.spec.scenario.label(),
+                r.spec.deadline.as_f64(),
+                r.n_tasks,
+                r.gc_nodes,
+                r.asap_makespan,
+                v.name(),
+                r.cost[i],
+                r.millis[i],
+            );
+        }
+    }
+}

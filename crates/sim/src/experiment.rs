@@ -1,0 +1,418 @@
+//! Instance grid and parallel execution (§6.1's simulation setup).
+//!
+//! One *instance* is a (workflow, cluster, scenario, deadline-factor)
+//! combination: workflows and mappings are fixed per (workflow, cluster)
+//! pair; the 4 scenarios × 4 deadlines yield the paper's 16 power
+//! profiles per pair. The full paper grid is 2 clusters × 34 workflows ×
+//! 16 profiles = 1088 instances; `GridScale` selects paper-sized or
+//! CI-sized subsets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use cawo_core::{carbon_cost, Cost, Instance, Variant};
+use cawo_graph::generator::{self, Family, PaperInstance};
+use cawo_heft::heft_schedule;
+use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario, Time};
+
+/// Which of the two paper platforms an instance runs on (§6.1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterKind {
+    /// 12 nodes per type (72 total).
+    Small,
+    /// 24 nodes per type (144 total).
+    Large,
+}
+
+impl ClusterKind {
+    /// Builds the platform (deterministic in `seed`).
+    pub fn build(self, seed: u64) -> Cluster {
+        match self {
+            ClusterKind::Small => Cluster::paper_small(seed),
+            ClusterKind::Large => Cluster::paper_large(seed),
+        }
+    }
+
+    /// Paper label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterKind::Small => "small",
+            ClusterKind::Large => "large",
+        }
+    }
+}
+
+/// Grid sizes: from CI-friendly to the full paper campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridScale {
+    /// Real-world workflows + 200-task replicas, small cluster only
+    /// (112 instances; seconds to minutes).
+    Quick,
+    /// Adds the large cluster and 1000-task replicas (352 instances).
+    Medium,
+    /// The paper's 2 × 34 × 16 = 1088 instances, up to 30 000 tasks.
+    Full,
+}
+
+impl GridScale {
+    /// Parses `"quick" | "medium" | "full"`.
+    pub fn parse(s: &str) -> Option<GridScale> {
+        match s {
+            "quick" => Some(GridScale::Quick),
+            "medium" => Some(GridScale::Medium),
+            "full" => Some(GridScale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// One instance of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceSpec {
+    /// Workflow family.
+    pub family: Family,
+    /// `None` = real-world base instance, `Some(n)` = scaled replica.
+    pub scaled_to: Option<usize>,
+    /// Target platform.
+    pub cluster: ClusterKind,
+    /// Power-profile scenario (S1–S4).
+    pub scenario: Scenario,
+    /// Deadline tolerance factor.
+    pub deadline: DeadlineFactor,
+}
+
+impl InstanceSpec {
+    /// Human-readable instance id, e.g. `atacseq-200/small/S1/x1.5`.
+    pub fn id(&self) -> String {
+        let wf = match self.scaled_to {
+            None => format!("{}-real", self.family.name()),
+            Some(n) => format!("{}-{}", self.family.name(), n),
+        };
+        format!(
+            "{wf}/{}/{}/x{}",
+            self.cluster.name(),
+            self.scenario.label(),
+            self.deadline.as_f64()
+        )
+    }
+}
+
+/// Grid configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Grid size.
+    pub scale: GridScale,
+    /// Master seed (workflows, link powers, profile perturbations).
+    pub seed: u64,
+    /// Algorithms to run (defaults to all 17).
+    pub variants: Vec<Variant>,
+}
+
+impl ExperimentConfig {
+    /// All 17 variants at the given scale.
+    pub fn new(scale: GridScale, seed: u64) -> Self {
+        ExperimentConfig {
+            scale,
+            seed,
+            variants: Variant::ALL.to_vec(),
+        }
+    }
+
+    /// The workflow descriptors included at this scale.
+    pub fn workflows(&self) -> Vec<PaperInstance> {
+        match self.scale {
+            GridScale::Full => generator::paper_instances(),
+            GridScale::Quick | GridScale::Medium => {
+                let sizes: &[usize] = if self.scale == GridScale::Quick {
+                    &[200]
+                } else {
+                    &[200, 1_000]
+                };
+                let mut out = Vec::new();
+                for family in Family::ALL {
+                    out.push(PaperInstance {
+                        family,
+                        scaled_to: None,
+                    });
+                    if family == Family::Bacass {
+                        continue; // paper: bacass only in its real version
+                    }
+                    for &n in sizes {
+                        out.push(PaperInstance {
+                            family,
+                            scaled_to: Some(n),
+                        });
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The clusters included at this scale.
+    pub fn clusters(&self) -> Vec<ClusterKind> {
+        match self.scale {
+            GridScale::Quick => vec![ClusterKind::Small],
+            GridScale::Medium | GridScale::Full => {
+                vec![ClusterKind::Small, ClusterKind::Large]
+            }
+        }
+    }
+
+    /// The full instance grid.
+    pub fn grid(&self) -> Vec<InstanceSpec> {
+        let mut specs = Vec::new();
+        for wf in self.workflows() {
+            for cluster in self.clusters() {
+                for scenario in Scenario::ALL {
+                    for deadline in DeadlineFactor::ALL {
+                        specs.push(InstanceSpec {
+                            family: wf.family,
+                            scaled_to: wf.scaled_to,
+                            cluster,
+                            scenario,
+                            deadline,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// Costs and timings of every variant on one instance.
+#[derive(Debug, Clone)]
+pub struct SpecResult {
+    /// The instance.
+    pub spec: InstanceSpec,
+    /// Original task count `n`.
+    pub n_tasks: usize,
+    /// Enhanced-DAG size `N = n + |E'|`.
+    pub gc_nodes: usize,
+    /// ASAP makespan `D` (deadline basis).
+    pub asap_makespan: Time,
+    /// Variants in execution order (same order as `cost`/`millis`).
+    pub variants: Vec<Variant>,
+    /// Carbon cost per variant.
+    pub cost: Vec<Cost>,
+    /// Scheduling wall-clock time per variant, in milliseconds.
+    pub millis: Vec<f64>,
+}
+
+impl SpecResult {
+    /// Cost of a specific variant.
+    pub fn cost_of(&self, v: Variant) -> Cost {
+        let i = self
+            .variants
+            .iter()
+            .position(|&x| x == v)
+            .expect("variant was run");
+        self.cost[i]
+    }
+
+    /// Wall-clock milliseconds of a specific variant.
+    pub fn millis_of(&self, v: Variant) -> f64 {
+        let i = self
+            .variants
+            .iter()
+            .position(|&x| x == v)
+            .expect("variant was run");
+        self.millis[i]
+    }
+}
+
+/// Per-instance profile seed: decorrelates profiles across the grid but
+/// keeps them reproducible.
+fn profile_seed(master: u64, spec: &InstanceSpec) -> u64 {
+    let mut h = master ^ 0xD6E8_FEB8_6659_FD93;
+    for x in [
+        spec.family as u64 + 1,
+        spec.scaled_to.unwrap_or(0) as u64,
+        matches!(spec.cluster, ClusterKind::Large) as u64,
+        spec.scenario as u64 + 10,
+        spec.deadline.as_f64().to_bits(),
+    ] {
+        h ^= x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = h.rotate_left(23).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+    h
+}
+
+/// Runs the grid in parallel. Workflow → mapping → enhanced-instance
+/// construction is shared across the 16 profiles of each
+/// (workflow, cluster) pair.
+pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
+    let specs = cfg.grid();
+    // Prepare unique (workflow, cluster) instances in parallel.
+    let mut keys: Vec<(Family, Option<usize>, ClusterKind)> = specs
+        .iter()
+        .map(|s| (s.family, s.scaled_to, s.cluster))
+        .collect();
+    keys.sort_by_key(|k| (k.0 as u8, k.1, matches!(k.2, ClusterKind::Large)));
+    keys.dedup();
+
+    type PreparedKey = (Family, Option<usize>, ClusterKind);
+    let prepared: HashMap<PreparedKey, Arc<(Instance, Cluster)>> = keys
+        .par_iter()
+        .map(|&(family, scaled_to, ck)| {
+            let wf = generator::instantiate(&PaperInstance { family, scaled_to }, cfg.seed);
+            let cluster = ck.build(cfg.seed);
+            let mapping = heft_schedule(&wf, &cluster);
+            let inst = Instance::build(&wf, &cluster, &mapping);
+            ((family, scaled_to, ck), Arc::new((inst, cluster)))
+        })
+        .collect();
+
+    specs
+        .par_iter()
+        .map(|spec| {
+            let pair = &prepared[&(spec.family, spec.scaled_to, spec.cluster)];
+            let (inst, cluster) = (&pair.0, &pair.1);
+            run_one(cfg, spec, inst, cluster)
+        })
+        .collect()
+}
+
+/// Runs all configured variants on one prepared instance.
+pub fn run_one(
+    cfg: &ExperimentConfig,
+    spec: &InstanceSpec,
+    inst: &Instance,
+    cluster: &Cluster,
+) -> SpecResult {
+    let asap_makespan = inst.asap_makespan();
+    let profile = ProfileConfig::new(spec.scenario, spec.deadline, profile_seed(cfg.seed, spec))
+        .build(cluster, asap_makespan);
+    let mut cost = Vec::with_capacity(cfg.variants.len());
+    let mut millis = Vec::with_capacity(cfg.variants.len());
+    for &v in &cfg.variants {
+        let t0 = Instant::now();
+        let sched = v.run(inst, &profile);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
+        cost.push(carbon_cost(inst, &sched, &profile));
+        millis.push(dt);
+    }
+    SpecResult {
+        spec: *spec,
+        n_tasks: inst.original_task_count(),
+        gc_nodes: inst.node_count(),
+        asap_makespan,
+        variants: cfg.variants.clone(),
+        cost,
+        millis,
+    }
+}
+
+/// Size class of a workflow (Figure 16): small ≤ 4000 < medium ≤ 18000
+/// < large.
+pub fn size_class(n_tasks: usize) -> &'static str {
+    if n_tasks <= 4_000 {
+        "small"
+    } else if n_tasks <= 18_000 {
+        "medium"
+    } else {
+        "large"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_shape() {
+        let cfg = ExperimentConfig::new(GridScale::Quick, 1);
+        // 4 real + 3 scaled-200 = 7 workflows × 1 cluster × 16 profiles.
+        assert_eq!(cfg.workflows().len(), 7);
+        assert_eq!(cfg.grid().len(), 7 * 16);
+    }
+
+    #[test]
+    fn medium_grid_shape() {
+        let cfg = ExperimentConfig::new(GridScale::Medium, 1);
+        // 4 real + 3×2 scaled = 10 workflows × 2 clusters × 16.
+        assert_eq!(cfg.workflows().len(), 10);
+        assert_eq!(cfg.grid().len(), 10 * 2 * 16);
+    }
+
+    #[test]
+    fn full_grid_matches_paper() {
+        let cfg = ExperimentConfig::new(GridScale::Full, 1);
+        assert_eq!(cfg.workflows().len(), 34);
+        assert_eq!(cfg.grid().len(), 1088, "2 × 34 × 16 (§6.1)");
+    }
+
+    #[test]
+    fn spec_ids_are_unique() {
+        let cfg = ExperimentConfig::new(GridScale::Medium, 1);
+        let ids: std::collections::HashSet<String> = cfg.grid().iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), cfg.grid().len());
+    }
+
+    #[test]
+    fn profile_seeds_differ_across_specs() {
+        let cfg = ExperimentConfig::new(GridScale::Quick, 7);
+        let grid = cfg.grid();
+        let seeds: std::collections::HashSet<u64> =
+            grid.iter().map(|s| profile_seed(7, s)).collect();
+        assert_eq!(seeds.len(), grid.len());
+    }
+
+    #[test]
+    fn run_one_instance_end_to_end() {
+        let cfg = ExperimentConfig {
+            scale: GridScale::Quick,
+            seed: 3,
+            variants: vec![Variant::Asap, Variant::PressWRLs, Variant::SlackLs],
+        };
+        let spec = InstanceSpec {
+            family: Family::Bacass,
+            scaled_to: None,
+            cluster: ClusterKind::Small,
+            scenario: Scenario::SolarMorning,
+            deadline: DeadlineFactor::X20,
+        };
+        let wf = generator::instantiate(
+            &PaperInstance {
+                family: spec.family,
+                scaled_to: None,
+            },
+            cfg.seed,
+        );
+        let cluster = spec.cluster.build(cfg.seed);
+        let mapping = heft_schedule(&wf, &cluster);
+        let inst = Instance::build(&wf, &cluster, &mapping);
+        let res = run_one(&cfg, &spec, &inst, &cluster);
+        assert_eq!(res.cost.len(), 3);
+        assert_eq!(res.n_tasks, wf.task_count());
+        assert!(res.gc_nodes >= res.n_tasks);
+        // The carbon-aware variants should not be worse than ASAP here
+        // (greedy can rarely lose, but LS variants start from greedy and
+        // ASAP is one LS fixed point candidate — still, only assert
+        // against the recorded ASAP cost being finite).
+        assert!(res.cost_of(Variant::Asap) > 0 || res.cost_of(Variant::PressWRLs) == 0);
+        assert!(res.millis.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(size_class(200), "small");
+        assert_eq!(size_class(4_000), "small");
+        assert_eq!(size_class(8_000), "medium");
+        assert_eq!(size_class(18_000), "medium");
+        assert_eq!(size_class(20_000), "large");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(GridScale::parse("quick"), Some(GridScale::Quick));
+        assert_eq!(GridScale::parse("medium"), Some(GridScale::Medium));
+        assert_eq!(GridScale::parse("full"), Some(GridScale::Full));
+        assert_eq!(GridScale::parse("tiny"), None);
+    }
+}

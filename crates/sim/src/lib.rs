@@ -1,0 +1,32 @@
+//! Experiment harness reproducing the CaWoSched evaluation (§6).
+//!
+//! Replaces the paper's simexpal-managed C++ campaign (DESIGN.md,
+//! Substitution 3) with a deterministic, rayon-parallel grid runner:
+//!
+//! * [`experiment`] — instance grid (workflow × cluster × scenario ×
+//!   deadline), instantiation and execution of all 17 algorithm variants
+//!   with wall-clock timing,
+//! * [`metrics`] — rankings, performance profiles, cost ratios, boxplot
+//!   statistics (the paper's Figures 1–6 and 10–17 ingredients),
+//! * [`exactcmp`] — the small-instance optimality comparison of Fig. 7,
+//! * [`des`] — a discrete-event execution simulator serving as an
+//!   independent oracle for the analytic cost engine,
+//! * [`report`] — plain-text/markdown series and table emitters.
+//!
+//! The `figures` binary maps every paper artifact id (`table1`, `fig1`,
+//! …, `fig17`) to the code that regenerates its rows/series.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod exactcmp;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+
+pub use experiment::{
+    run_grid, ClusterKind, ExperimentConfig, GridScale, InstanceSpec, SpecResult,
+};
+pub use metrics::{
+    boxplot, competition_ranks, cost_ratios_vs, median, performance_profile, BoxplotStats,
+};

@@ -1,0 +1,132 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+
+use cawo_sim::metrics::{
+    boxplot, competition_ranks, cost_ratios_vs, mean, median, performance_profile,
+    performance_ratios, rank_distribution,
+};
+
+proptest! {
+    #[test]
+    fn ranks_are_a_valid_competition_ranking(costs in proptest::collection::vec(0u64..50, 1..12)) {
+        let ranks = competition_ranks(&costs);
+        prop_assert_eq!(ranks.len(), costs.len());
+        // Rank 1 exists; ranks are within [1, n].
+        prop_assert!(ranks.contains(&1));
+        prop_assert!(ranks.iter().all(|&r| r >= 1 && r <= costs.len()));
+        // Equal costs share ranks; lower cost never ranks worse.
+        for i in 0..costs.len() {
+            for j in 0..costs.len() {
+                if costs[i] == costs[j] {
+                    prop_assert_eq!(ranks[i], ranks[j]);
+                }
+                if costs[i] < costs[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+        // Competition property: rank = 1 + #strictly-better algorithms.
+        for i in 0..costs.len() {
+            let better = costs.iter().filter(|&&c| c < costs[i]).count();
+            prop_assert_eq!(ranks[i], better + 1);
+        }
+    }
+
+    #[test]
+    fn rank_distribution_rows_are_probabilities(
+        matrix in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 4),
+            1..10,
+        ),
+    ) {
+        let dist = rank_distribution(&matrix);
+        for row in &dist {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn performance_ratios_in_unit_interval(
+        matrix in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 3),
+            1..10,
+        ),
+    ) {
+        for alg in 0..3 {
+            let ratios = performance_ratios(&matrix, alg);
+            prop_assert!(ratios.iter().all(|&r| (0.0..=1.0).contains(&r)));
+            // The per-instance best algorithm always gets ratio 1.
+        }
+        for (i, row) in matrix.iter().enumerate() {
+            let best = (0..3).min_by_key(|&a| row[a]).unwrap();
+            prop_assert_eq!(performance_ratios(&matrix, best)[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn performance_profile_monotone_and_bounded(
+        matrix in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 3),
+            1..10,
+        ),
+        taus in proptest::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let mut taus = taus;
+        taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for alg in 0..3 {
+            let curve = performance_profile(&matrix, alg, &taus);
+            prop_assert!(curve.windows(2).all(|w| w[0] >= w[1]), "not non-increasing");
+            prop_assert!(curve.iter().all(|&y| (0.0..=1.0).contains(&y)));
+        }
+    }
+
+    #[test]
+    fn boxplot_invariants(values in proptest::collection::vec(0.0f64..100.0, 1..40)) {
+        let b = boxplot(&values).unwrap();
+        // Quartiles are ordered (interpolated).
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        // Whiskers are actual data points inside the sample range. Note
+        // lo_whisker <= q1 does NOT hold in general: the quartile is
+        // interpolated while the whisker is the smallest datum above the
+        // Tukey fence, which can exceed it on sparse samples.
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(b.lo_whisker >= lo && b.lo_whisker <= hi);
+        prop_assert!(b.hi_whisker >= lo && b.hi_whisker <= hi);
+        prop_assert!(b.lo_whisker <= b.hi_whisker + 1e-9);
+        prop_assert!(values.contains(&b.lo_whisker));
+        prop_assert!(values.contains(&b.hi_whisker));
+        // Outliers lie strictly outside the whiskers.
+        for &o in &b.outliers {
+            prop_assert!(o < b.lo_whisker || o > b.hi_whisker);
+        }
+    }
+
+    #[test]
+    fn median_between_min_and_max(values in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+        let m = median(&values).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        let a = mean(&values).unwrap();
+        prop_assert!(a >= lo - 1e-9 && a <= hi + 1e-9);
+    }
+
+    #[test]
+    fn cost_ratio_reference_is_one(
+        matrix in proptest::collection::vec(
+            proptest::collection::vec(1u64..20, 3),
+            1..10,
+        ),
+    ) {
+        // Ratio of any algorithm against itself is identically 1.
+        for alg in 0..3 {
+            let r = cost_ratios_vs(&matrix, alg, alg);
+            prop_assert!(r.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! `cawosched` — command-line front end for the library.
+//!
+//! ```text
+//! cawosched generate --family atacseq --tasks 200 --seed 7
+//! cawosched schedule --dot wf.dot --variant pressWR-LS --scenario S1 \
+//!                    --deadline 2 --cluster tiny --gantt
+//! cawosched evaluate --dot wf.dot --scenario S3 --deadline 1.5
+//! ```
+//!
+//! * `generate` writes a synthetic workflow (DOT) to stdout,
+//! * `schedule` runs one variant and prints the start times (or a Gantt
+//!   chart with `--gantt`),
+//! * `evaluate` runs all 17 variants and prints a cost table.
+
+use std::io::Read;
+
+use cawosched::graph::dot;
+use cawosched::graph::wfjson::{from_wfcommons_json, WfJsonOptions};
+use cawosched::prelude::*;
+use cawosched::sim::report::render_gantt;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        die(USAGE);
+    };
+    let opts = Options::parse(&args[1..]).unwrap_or_else(|e| die(&format!("{e}\n{USAGE}")));
+    match cmd.as_str() {
+        "generate" => generate_cmd(&opts),
+        "schedule" => schedule_cmd(&opts),
+        "evaluate" => evaluate_cmd(&opts),
+        other => die(&format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  cawosched generate --family <atacseq|bacass|eager|methylseq> [--tasks N] [--seed N]
+  cawosched schedule [--dot FILE|-] [--json FILE] [--variant NAME]
+                     [--scenario S1..S4] [--deadline 1|1.5|2|3]
+                     [--cluster tiny|small|large] [--seed N] [--gantt]
+  cawosched evaluate [--dot FILE|-] [--json FILE] [--scenario S1..S4]
+                     [--deadline ...] [--cluster ...] [--seed N]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+struct Options {
+    family: Family,
+    tasks: usize,
+    seed: u64,
+    dot: Option<String>,
+    json: Option<String>,
+    variant: Variant,
+    scenario: Scenario,
+    deadline: DeadlineFactor,
+    cluster: String,
+    gantt: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            family: Family::Atacseq,
+            tasks: 100,
+            seed: 42,
+            dot: None,
+            json: None,
+            variant: Variant::PressWRLs,
+            scenario: Scenario::SolarMorning,
+            deadline: DeadlineFactor::X15,
+            cluster: "tiny".to_string(),
+            gantt: false,
+        };
+        let mut i = 0;
+        let next = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--family" => {
+                    let v = next(&mut i)?;
+                    o.family = Family::ALL
+                        .into_iter()
+                        .find(|f| f.name() == v)
+                        .ok_or(format!("unknown family {v}"))?;
+                }
+                "--tasks" => o.tasks = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => o.seed = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+                "--dot" => o.dot = Some(next(&mut i)?),
+                "--json" => o.json = Some(next(&mut i)?),
+                "--variant" => {
+                    let v = next(&mut i)?;
+                    o.variant = Variant::from_name(&v).ok_or(format!("unknown variant {v}"))?;
+                }
+                "--scenario" => {
+                    let v = next(&mut i)?;
+                    o.scenario = Scenario::ALL
+                        .into_iter()
+                        .find(|s| s.label() == v)
+                        .ok_or(format!("unknown scenario {v}"))?;
+                }
+                "--deadline" => {
+                    let v = next(&mut i)?;
+                    o.deadline = match v.as_str() {
+                        "1" | "1.0" => DeadlineFactor::X10,
+                        "1.5" => DeadlineFactor::X15,
+                        "2" | "2.0" => DeadlineFactor::X20,
+                        "3" | "3.0" => DeadlineFactor::X30,
+                        _ => return Err(format!("unknown deadline factor {v}")),
+                    };
+                }
+                "--cluster" => o.cluster = next(&mut i)?,
+                "--gantt" => o.gantt = true,
+                a => return Err(format!("unknown argument {a}")),
+            }
+            i += 1;
+        }
+        Ok(o)
+    }
+
+    fn build_cluster(&self) -> Cluster {
+        match self.cluster.as_str() {
+            "tiny" => Cluster::tiny(&[0, 3, 5], self.seed),
+            "small" => Cluster::paper_small(self.seed),
+            "large" => Cluster::paper_large(self.seed),
+            other => die(&format!("unknown cluster `{other}` (tiny|small|large)")),
+        }
+    }
+
+    fn load_workflow(&self) -> Workflow {
+        if let Some(path) = &self.json {
+            let buf = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            return from_wfcommons_json(&buf, WfJsonOptions::default())
+                .unwrap_or_else(|e| die(&format!("bad WfCommons JSON: {e}")));
+        }
+        match &self.dot {
+            None => generate(&GeneratorConfig::new(self.family, self.tasks, self.seed)),
+            Some(path) if path == "-" => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+                dot::from_dot(&buf).unwrap_or_else(|e| die(&format!("bad DOT: {e}")))
+            }
+            Some(path) => {
+                let buf = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                dot::from_dot(&buf).unwrap_or_else(|e| die(&format!("bad DOT: {e}")))
+            }
+        }
+    }
+}
+
+fn generate_cmd(o: &Options) {
+    let wf = generate(&GeneratorConfig::new(o.family, o.tasks, o.seed));
+    print!("{}", dot::to_dot(&wf));
+}
+
+fn prepare(o: &Options) -> (Instance, PowerProfile, Cost) {
+    let wf = o.load_workflow();
+    let cluster = o.build_cluster();
+    let mapping = heft_schedule(&wf, &cluster);
+    let inst = Instance::build(&wf, &cluster, &mapping);
+    let profile =
+        ProfileConfig::new(o.scenario, o.deadline, o.seed).build(&cluster, inst.asap_makespan());
+    let baseline = carbon_cost(&inst, &inst.asap_schedule(), &profile);
+    eprintln!(
+        "instance: {} tasks ({} Gc nodes), cluster {}, {} x{}, T={}",
+        inst.original_task_count(),
+        inst.node_count(),
+        cluster.name(),
+        o.scenario.label(),
+        o.deadline.as_f64(),
+        profile.deadline()
+    );
+    (inst, profile, baseline)
+}
+
+fn schedule_cmd(o: &Options) {
+    let (inst, profile, baseline) = prepare(o);
+    let sched = o.variant.run(&inst, &profile);
+    sched
+        .validate(&inst, profile.deadline())
+        .unwrap_or_else(|e| die(&format!("internal error — invalid schedule: {e}")));
+    let cost = carbon_cost(&inst, &sched, &profile);
+    eprintln!(
+        "{}: carbon cost {cost} (ASAP {baseline}, ratio {:.3})",
+        o.variant.name(),
+        cost as f64 / baseline.max(1) as f64
+    );
+    if o.gantt {
+        print!("{}", render_gantt(&inst, &sched, &profile, 120));
+    } else {
+        println!("task,start,finish,unit");
+        for v in 0..inst.original_task_count() as u32 {
+            println!(
+                "{v},{},{},{}",
+                sched.start(v),
+                sched.finish(v, &inst),
+                inst.unit_of(v)
+            );
+        }
+    }
+}
+
+fn evaluate_cmd(o: &Options) {
+    let (inst, profile, baseline) = prepare(o);
+    println!("{:<14} {:>12} {:>8}", "variant", "carbon_cost", "ratio");
+    println!("{:<14} {:>12} {:>8.3}", "ASAP", baseline, 1.0);
+    for v in Variant::CAWOSCHED {
+        let sched = v.run(&inst, &profile);
+        let cost = carbon_cost(&inst, &sched, &profile);
+        println!(
+            "{:<14} {:>12} {:>8.3}",
+            v.name(),
+            cost,
+            cost as f64 / baseline.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end tests of the `cawosched` CLI binary.
+
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cawosched"))
+}
+
+#[test]
+fn generate_emits_parseable_dot() {
+    let out = bin()
+        .args([
+            "generate", "--family", "bacass", "--tasks", "40", "--seed", "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let dot = String::from_utf8(out.stdout).unwrap();
+    let wf = cawosched::graph::dot::from_dot(&dot).expect("valid DOT");
+    assert!(wf.task_count() >= 30);
+}
+
+#[test]
+fn schedule_prints_csv_rows() {
+    let out = bin()
+        .args([
+            "schedule",
+            "--family",
+            "eager",
+            "--tasks",
+            "30",
+            "--seed",
+            "5",
+            "--variant",
+            "slackR-LS",
+            "--scenario",
+            "S3",
+            "--deadline",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some("task,start,finish,unit"));
+    // One row per original task (the generator rounds the target to the
+    // template arithmetic), each with 4 comma-separated fields.
+    let rows: Vec<&str> = lines.collect();
+    assert!(rows.len() >= 20);
+    assert!(rows.iter().all(|r| r.split(',').count() == 4));
+    // Stderr carries the cost summary.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("carbon cost"));
+}
+
+#[test]
+fn schedule_gantt_mode() {
+    let out = bin()
+        .args(["schedule", "--tasks", "20", "--gantt", "--deadline", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("green"));
+    assert!(stdout.contains('#'));
+}
+
+#[test]
+fn evaluate_lists_all_variants() {
+    let out = bin()
+        .args([
+            "evaluate",
+            "--family",
+            "methylseq",
+            "--tasks",
+            "30",
+            "--scenario",
+            "S1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["ASAP", "slack", "pressWR-LS", "slackWR-LS"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    assert_eq!(stdout.lines().count(), 1 + 17); // header + ASAP + 16
+}
+
+#[test]
+fn schedule_reads_dot_from_stdin() {
+    use std::io::Write;
+    let mut child = bin()
+        .args(["schedule", "--dot", "-", "--deadline", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"digraph g { a [weight=5]; b [weight=7]; a -> b [weight=2]; }")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.lines().count() >= 3); // header + 2 tasks
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [
+        vec!["schedule", "--variant", "nope"],
+        vec!["schedule", "--scenario", "S9"],
+        vec!["frobnicate"],
+        vec![],
+    ] {
+        let out = bin().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert_eq!(out.status.code(), Some(2));
+    }
+}
+
+#[test]
+fn schedule_reads_wfcommons_json() {
+    let dir = std::env::temp_dir().join("cawosched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wf.json");
+    std::fs::write(
+        &path,
+        r#"{"name": "j", "workflow": {"tasks": [
+            {"name": "a", "runtimeInSeconds": 8, "children": ["b"]},
+            {"name": "b", "runtimeInSeconds": 4}
+        ]}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "schedule",
+            "--json",
+            path.to_str().unwrap(),
+            "--deadline",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 3); // header + 2 tasks
+}
