@@ -72,23 +72,6 @@ fn raw_instance(max_n: usize) -> impl Strategy<Value = RawInstance> {
     })
 }
 
-/// A random profile over a given minimum horizon.
-fn profile_for(min_horizon: Time) -> impl Strategy<Value = PowerProfile> {
-    (1u64..4, proptest::collection::vec(0u64..25, 1..6)).prop_map(move |(stretch, budgets)| {
-        let horizon = (min_horizon * stretch).max(1);
-        let j = budgets.len() as u64;
-        let mut bounds = vec![0];
-        for k in 1..=j {
-            let t = horizon * k / j;
-            if t > *bounds.last().unwrap() {
-                bounds.push(t);
-            }
-        }
-        let m = bounds.len() - 1;
-        PowerProfile::from_parts(bounds, budgets[..m].to_vec())
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

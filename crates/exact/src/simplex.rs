@@ -26,6 +26,12 @@ pub enum LpCmp {
     Ge,
 }
 
+/// Sparse linear expression: `(variable index, coefficient)` terms.
+pub type LpTerms = Vec<(usize, f64)>;
+
+/// One constraint row: sparse terms, comparison, right-hand side.
+pub type LpRow = (LpTerms, LpCmp, f64);
+
 /// A linear program: minimise `c·x` subject to rows, `x ≥ 0`.
 #[derive(Debug, Clone, Default)]
 pub struct LpProblem {
@@ -33,8 +39,8 @@ pub struct LpProblem {
     pub num_vars: usize,
     /// Objective coefficients (minimisation), indexed by variable.
     pub objective: Vec<f64>,
-    /// Constraint rows: sparse terms, comparison, right-hand side.
-    pub rows: Vec<(Vec<(usize, f64)>, LpCmp, f64)>,
+    /// Constraint rows.
+    pub rows: Vec<LpRow>,
 }
 
 impl LpProblem {
@@ -90,7 +96,7 @@ pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
         SurplusArtificial,
         Artificial,
     }
-    let mut norm: Vec<(Vec<(usize, f64)>, f64, Aux)> = Vec::with_capacity(m);
+    let mut norm: Vec<(LpTerms, f64, Aux)> = Vec::with_capacity(m);
     for (terms, cmp, rhs) in &problem.rows {
         let mut t = terms.clone();
         let mut r = *rhs;
@@ -275,21 +281,25 @@ fn pivot(
 ) {
     let p = tab[row][col];
     debug_assert!(p.abs() > EPS);
-    for c in 0..=total {
-        tab[row][c] /= p;
+    for cell in tab[row].iter_mut().take(total + 1) {
+        *cell /= p;
     }
-    for i in 0..tab.len() {
-        if i != row && tab[i][col].abs() > EPS {
-            let f = tab[i][col];
-            for c in 0..=total {
-                tab[i][c] -= f * tab[row][c];
+    // Split the tableau around the pivot row so the other rows can be
+    // updated against it without cloning it each pivot.
+    let (before, rest) = tab.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("pivot row in range");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        if r[col].abs() > EPS {
+            let f = r[col];
+            for (cell, &pv) in r.iter_mut().zip(pivot_row.iter()).take(total + 1) {
+                *cell -= f * pv;
             }
         }
     }
     if obj[col].abs() > EPS {
         let f = obj[col];
-        for c in 0..=total {
-            obj[c] -= f * tab[row][c];
+        for (cell, &pv) in obj.iter_mut().zip(pivot_row.iter()).take(total + 1) {
+            *cell -= f * pv;
         }
     }
     basis[row] = col;

@@ -302,8 +302,10 @@ mod tests {
         assert_eq!(track.brown_energy(10, 20, 10), 0);
         // Straddling: [5,15) ⇒ 5×5 + 0 = 25.
         assert_eq!(track.brown_energy(5, 15, 10), 25);
-        // Beyond horizon is all brown.
-        assert_eq!(track.brown_energy(18, 25, 10), 2 * 0 + 5 * 10);
+        // Beyond horizon is all brown: 2 in-horizon units are green
+        // (budget 15 covers them), the 5 beyond-horizon units cost 10
+        // each.
+        assert_eq!(track.brown_energy(18, 25, 10), 50);
     }
 
     #[test]

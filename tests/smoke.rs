@@ -1,0 +1,61 @@
+//! Workspace smoke test: the exact pipeline the crate-level quickstart
+//! doctest advertises, asserted end-to-end so a regression anywhere in
+//! the `graph → platform → heft → core` stack fails loudly even if the
+//! doctest itself is edited.
+
+use cawosched::prelude::*;
+
+#[test]
+fn quickstart_path_beats_or_ties_asap() {
+    // 1. A generated atacseq-like workflow.
+    let wf = generate(&GeneratorConfig::new(Family::Atacseq, 60, 42));
+    assert!(wf.task_count() >= 50, "generator missed its size target");
+
+    // 2. A platform and a HEFT mapping.
+    let cluster = Cluster::tiny(&[0, 3, 5], 42);
+    let mapping = heft_schedule(&wf, &cluster);
+
+    // 3. The communication-enhanced instance Gc.
+    let inst = Instance::build(&wf, &cluster, &mapping);
+    assert!(inst.node_count() >= wf.task_count());
+
+    // 4. A green-power profile over the ASAP-derived horizon.
+    let profile = ProfileConfig::new(Scenario::SolarMorning, DeadlineFactor::X15, 42)
+        .build(&cluster, inst.asap_makespan());
+
+    // 5. Carbon-aware scheduling beats or ties the ASAP baseline, and
+    //    stays deadline-feasible.
+    let baseline_cost = carbon_cost(&inst, &inst.asap_schedule(), &profile);
+    let sched = Variant::PressWRLs.run(&inst, &profile);
+    assert!(sched.validate(&inst, profile.deadline()).is_ok());
+    assert!(
+        carbon_cost(&inst, &sched, &profile) <= baseline_cost,
+        "PressWR-LS must not cost more carbon than ASAP"
+    );
+}
+
+#[test]
+fn quickstart_path_holds_across_scenarios_and_variants() {
+    let wf = generate(&GeneratorConfig::new(Family::Methylseq, 40, 7));
+    let cluster = Cluster::tiny(&[1, 2, 4], 7);
+    let mapping = heft_schedule(&wf, &cluster);
+    let inst = Instance::build(&wf, &cluster, &mapping);
+    for scenario in [
+        Scenario::SolarMorning,
+        Scenario::SolarMidday,
+        Scenario::Sinusoidal,
+        Scenario::Constant,
+    ] {
+        let profile = ProfileConfig::new(scenario, DeadlineFactor::X20, 7)
+            .build(&cluster, inst.asap_makespan());
+        let baseline = carbon_cost(&inst, &inst.asap_schedule(), &profile);
+        for variant in [Variant::Slack, Variant::PressWR, Variant::PressWRLs] {
+            let sched = variant.run(&inst, &profile);
+            assert!(sched.validate(&inst, profile.deadline()).is_ok());
+            assert!(
+                carbon_cost(&inst, &sched, &profile) <= baseline,
+                "{scenario:?}: variant must beat or tie ASAP"
+            );
+        }
+    }
+}

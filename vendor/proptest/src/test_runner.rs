@@ -1,0 +1,85 @@
+//! The case-loop driver behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (the real proptest defaults to 256; this stand-in
+    /// trades a smaller default for a faster tier-1).
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property: carries the `prop_assert*` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs a property over `config.cases` generated cases.
+pub struct TestRunner {
+    name: &'static str,
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG is seeded deterministically from the
+    /// test name, so failures reproduce bit-for-bit everywhere.
+    pub fn new(name: &'static str, config: ProptestConfig) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            name,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Executes the property; panics (failing the `#[test]`) on the
+    /// first failed case.
+    pub fn run(&mut self, mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+        for index in 0..self.config.cases {
+            if let Err(e) = case(&mut self.rng) {
+                panic!(
+                    "proptest property `{}` failed at case {}/{}: {}\n\
+                     (deterministic: rerun this test to reproduce)",
+                    self.name, index, self.config.cases, e
+                );
+            }
+        }
+    }
+}

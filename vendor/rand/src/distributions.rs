@@ -1,0 +1,158 @@
+//! Sampling support: uniform ranges and the standard distribution.
+
+use crate::{Rng, RngCore};
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Uniform range sampling (`rand::distributions::uniform` subset).
+pub mod uniform {
+    use super::*;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Range types accepted by [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Integers with uniform sampling over a `[0, span)` window.
+    ///
+    /// The conversion is an *order-preserving* bijection into `u64`
+    /// (signed types are offset by the sign bit), so range arithmetic
+    /// works uniformly — including zero-crossing signed ranges like
+    /// `-5i64..5`.
+    pub trait UniformInt: Copy {
+        /// Order-preserving conversion to `u64`.
+        fn to_offset_u64(self) -> u64;
+        /// Inverse of [`UniformInt::to_offset_u64`] (caller guarantees
+        /// the value round-trips).
+        fn from_offset_u64(v: u64) -> Self;
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl UniformInt for $t {
+                fn to_offset_u64(self) -> u64 { self as u64 }
+                fn from_offset_u64(v: u64) -> Self { v as $t }
+            }
+        )*};
+    }
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_sint {
+        ($($t:ty),*) => {$(
+            impl UniformInt for $t {
+                fn to_offset_u64(self) -> u64 {
+                    (self as i64 as u64) ^ (1 << 63)
+                }
+                fn from_offset_u64(v: u64) -> Self {
+                    (v ^ (1 << 63)) as i64 as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_sint!(i8, i16, i32, i64, isize);
+
+    /// Uniform draw from `[0, span)` by rejection sampling (no modulo
+    /// bias).
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    impl<T: UniformInt> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (self.start.to_offset_u64(), self.end.to_offset_u64());
+            assert!(lo < hi, "gen_range: empty range");
+            T::from_offset_u64(lo + below(rng, hi - lo))
+        }
+    }
+
+    impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (self.start().to_offset_u64(), self.end().to_offset_u64());
+            assert!(lo <= hi, "gen_range: empty range");
+            if lo == 0 && hi == u64::MAX {
+                return T::from_offset_u64(rng.next_u64());
+            }
+            T::from_offset_u64(lo + below(rng, hi - lo + 1))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use crate::rngs::StdRng;
+        use crate::{Rng, SeedableRng};
+
+        #[test]
+        fn signed_ranges_cross_zero() {
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let v: i64 = rng.gen_range(-5i64..5);
+                assert!((-5..5).contains(&v));
+                let w: i32 = rng.gen_range(-3i32..=3);
+                assert!((-3..=3).contains(&w));
+            }
+            // Both signs actually occur.
+            let drawn: Vec<i64> = (0..100).map(|_| rng.gen_range(-5i64..5)).collect();
+            assert!(drawn.iter().any(|&v| v < 0) && drawn.iter().any(|&v| v >= 0));
+        }
+
+        #[test]
+        fn unsigned_ranges_hit_bounds_only() {
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..1000 {
+                let v: u64 = rng.gen_range(10..12);
+                assert!((10..12).contains(&v));
+            }
+        }
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+}

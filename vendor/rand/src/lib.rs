@@ -1,0 +1,58 @@
+//! Minimal, self-contained stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment of this repository has no access to a crates
+//! registry, so the workspace vendors the tiny slice of `rand` it uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen_range`, `gen_bool` and `gen`. The generator is
+//! xoshiro256** seeded via SplitMix64 — deterministic across platforms,
+//! which is all the CaWoSched experiments require (the paper's results
+//! depend on seeds being reproducible, not on a specific stream).
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed (via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Samples a value of a type with a standard distribution
+    /// (uniform over the full integer range, `[0, 1)` for `f64`).
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

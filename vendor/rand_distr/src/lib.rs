@@ -1,0 +1,65 @@
+//! Minimal stand-in for the `rand_distr` crate: just the [`Normal`]
+//! distribution (all the workflow generator needs), sampled via the
+//! Box–Muller transform. Vendored because this build environment has no
+//! registry access.
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Types that can be sampled to produce values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the randomness source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+    /// The mean was not finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    /// Builds `N(mean, std_dev²)`; fails if `std_dev` is negative or
+    /// either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1] so ln(u1) is finite.
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}

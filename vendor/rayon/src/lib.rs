@@ -1,0 +1,55 @@
+//! Sequential stand-in for the `rayon` prelude.
+//!
+//! This build environment has no registry access, so the workspace
+//! vendors a shim in which `par_iter()` / `into_par_iter()` return the
+//! ordinary sequential iterators. All adaptor calls (`map`, `collect`,
+//! `sum`, …) then resolve to [`std::iter::Iterator`] methods, so call
+//! sites compile unchanged and produce identical (deterministically
+//! ordered) results — just without the parallel speed-up. Swapping the
+//! real rayon back in is a one-line manifest change.
+
+#![warn(missing_docs)]
+
+pub mod prelude {
+    //! Drop-in subset of `rayon::prelude`.
+
+    /// Mirror of `rayon::prelude::IntoParallelIterator`, backed by
+    /// [`IntoIterator`].
+    pub trait IntoParallelIterator {
+        /// The produced item type.
+        type Item;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// "Parallel" iteration — sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The produced item type (a reference).
+        type Item: 'data;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// "Parallel" iteration over `&self` — sequential in this shim.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal stand-in for `serde` (deserialization only).
+//!
+//! This build environment has no registry access, so the workspace
+//! vendors the slice of serde it uses: a [`Deserialize`] trait driven by
+//! a JSON-like [`__value::Value`] tree (produced by the vendored
+//! `serde_json`), and a `#[derive(Deserialize)]` macro supporting named
+//! structs with `#[serde(default)]` and `#[serde(alias = "...")]`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::Deserialize;
+
+pub mod __value;
+
+use __value::{DeError, Value};
+
+/// Types constructible from a parsed [`Value`] tree.
+///
+/// The real serde is format-agnostic; this stand-in is specialized to
+/// the JSON value model, which is the only format the workspace reads.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a parsed value.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid_type("boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            other => Err(DeError::invalid_type("number", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n)
+                        if *n >= 0.0 && n.fract() == 0.0 && *n <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*n as $t)
+                    }
+                    other => Err(DeError::invalid_type("non-negative integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n)
+                        if n.fract() == 0.0
+                            && *n >= <$t>::MIN as f64
+                            && *n <= <$t>::MAX as f64 =>
+                    {
+                        Ok(*n as $t)
+                    }
+                    other => Err(DeError::invalid_type("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::invalid_type("array", other)),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Vendored minimal `#[derive(Deserialize)]`.
+//!
+//! Supports exactly what the workspace needs: non-generic structs with
+//! named fields, honoring `#[serde(default)]` and
+//! `#[serde(alias = "...")]` (combinable, e.g.
+//! `#[serde(default, alias = "runtimeInSeconds")]`). Anything fancier
+//! (enums, generics, rename_all, flatten, …) is rejected with a compile
+//! error naming this file, so future growth fails loudly instead of
+//! silently misparsing.
+//!
+//! Implemented directly on `proc_macro::TokenStream` — the environment
+//! has no registry access, so `syn`/`quote` are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+    aliases: Vec<String>,
+}
+
+/// Derives `serde::Deserialize` for a named struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility up to the `struct` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("derive(Deserialize): enums are not supported by the \
+                            vendored serde_derive"
+                    .into());
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Deserialize): expected struct name".into()),
+    };
+    let body = match tokens.get(i + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(
+                "derive(Deserialize): generic structs are not supported by the \
+                        vendored serde_derive"
+                    .into(),
+            );
+        }
+        _ => {
+            return Err("derive(Deserialize): only structs with named fields are \
+                        supported by the vendored serde_derive"
+                .into());
+        }
+    };
+
+    let fields = parse_fields(body)?;
+    Ok(render(&name, &fields).parse().unwrap())
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        let mut aliases = Vec::new();
+
+        // Attributes (`#[serde(...)]`, doc comments, ...).
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+            (tokens.get(i), tokens.get(i + 1))
+        {
+            if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+                break;
+            }
+            parse_attr(g.stream(), &mut default, &mut aliases)?;
+            i += 2;
+        }
+
+        // Optional visibility (`pub`, `pub(crate)`, ...).
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "derive(Deserialize): expected field name, found `{other}`"
+                ));
+            }
+        };
+        match tokens.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "derive(Deserialize): expected `:` after field `{name}` \
+                     (tuple structs are not supported)"
+                ));
+            }
+        }
+        i += 2;
+
+        // Type tokens up to a top-level comma (tracking `<...>` depth).
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            ty.push_str(&tok.to_string());
+            ty.push(' ');
+            i += 1;
+        }
+        if ty.is_empty() {
+            return Err(format!("derive(Deserialize): field `{name}` has no type"));
+        }
+        fields.push(Field {
+            name,
+            ty,
+            default,
+            aliases,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_attr(
+    attr: TokenStream,
+    default: &mut bool,
+    aliases: &mut Vec<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // not a serde attribute (doc comment etc.)
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("derive(Deserialize): malformed #[serde(...)] attribute".into()),
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                *default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "alias" => {
+                let lit = match (inner.get(j + 1), inner.get(j + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        lit.to_string()
+                    }
+                    _ => {
+                        return Err(
+                            "derive(Deserialize): expected #[serde(alias = \"...\")]".into()
+                        );
+                    }
+                };
+                let alias = lit.trim_matches('"').to_string();
+                if alias.is_empty() || alias.len() + 2 != lit.len() {
+                    return Err("derive(Deserialize): alias must be a plain string literal".into());
+                }
+                aliases.push(alias);
+                j += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => {
+                return Err(format!(
+                    "derive(Deserialize): unsupported serde attribute `{other}` \
+                     (the vendored serde_derive knows only `default` and `alias`)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn render(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    for f in fields {
+        let mut lookup = format!("__v.get({:?})", f.name);
+        for alias in &f.aliases {
+            lookup.push_str(&format!(".or_else(|| __v.get({alias:?}))"));
+        }
+        let on_missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::__value::DeError::missing_field({:?}))",
+                f.name
+            )
+        };
+        body.push_str(&format!(
+            "{name}: match {lookup} {{\n\
+                 Some(__field) => <{ty} as ::serde::Deserialize>::deserialize_value(__field)\n\
+                     .map_err(|e| e.at_field({fname:?}))?,\n\
+                 None => {on_missing},\n\
+             }},\n",
+            name = f.name,
+            ty = f.ty,
+            fname = f.name,
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(\n\
+                 __v: &::serde::__value::Value,\n\
+             ) -> ::std::result::Result<Self, ::serde::__value::DeError> {{\n\
+                 if !matches!(__v, ::serde::__value::Value::Object(_)) {{\n\
+                     return Err(::serde::__value::DeError::invalid_type(\"object\", __v));\n\
+                 }}\n\
+                 Ok({name} {{\n{body}\n}})\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,310 @@
+//! Minimal stand-in for `serde_json`: a strict recursive-descent JSON
+//! parser producing the vendored `serde` value model, plus
+//! [`from_str`]. Vendored because this build environment has no
+//! registry access.
+
+#![warn(missing_docs)]
+
+pub use serde::__value::Value;
+
+/// Parse or data-mapping error, with a byte offset for syntax errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of the syntax error, if any.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn syntax(message: impl Into<String>, offset: usize) -> Self {
+        Error {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn data(e: serde::__value::DeError) -> Self {
+        Error {
+            message: e.to_string(),
+            offset: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {off}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses `input` and deserializes it into `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value_str(input)?;
+    T::deserialize_value(&value).map_err(Error::data)
+}
+
+/// Parses `input` into a raw [`Value`] tree.
+pub fn parse_value_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::syntax("trailing characters", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::syntax(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::syntax("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::syntax(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::syntax("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::syntax("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::syntax("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::syntax("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        other => {
+                            return Err(Error::syntax(
+                                format!("invalid escape `\\{}`", other as char),
+                                self.pos - 1,
+                            ));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(Error::syntax("unescaped control character", self.pos));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so it
+                    // is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(&rest[..rest.len().min(4)])
+                        .unwrap_or_else(|e| std::str::from_utf8(&rest[..e.valid_up_to()]).unwrap())
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::syntax("invalid UTF-8", self.pos))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let first = self.parse_hex4()?;
+        // Surrogate pair handling.
+        if (0xD800..0xDC00).contains(&first) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.parse_hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(c)
+                        .ok_or_else(|| Error::syntax("invalid surrogate pair", self.pos));
+                }
+            }
+            return Err(Error::syntax("lone surrogate", self.pos));
+        }
+        char::from_u32(first).ok_or_else(|| Error::syntax("invalid \\u escape", self.pos))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::syntax("truncated \\u escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::syntax("invalid \\u escape", self.pos))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::syntax("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::syntax("invalid number", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v =
+            parse_value_str(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": "x\nyé"}, "e": true}"#)
+                .unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(2.5),
+                Value::Number(-300.0),
+            ]))
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert_eq!(
+            v.get("b").unwrap().get("d"),
+            Some(&Value::String("x\nyé".to_string()))
+        );
+        assert_eq!(v.get("e"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_value_str("not json").is_err());
+        assert!(parse_value_str("{\"a\": }").is_err());
+        assert!(parse_value_str("[1, 2,]").is_err());
+        assert!(parse_value_str("{} trailing").is_err());
+    }
+}
