@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use cawo_bench::fixtures::fixture;
 use cawo_core::subdivision::refined_boundaries;
-use cawo_core::{carbon_cost, Bounds, Instance, PowerGrid};
+use cawo_core::{carbon_cost, Bounds, CostEngine, DenseGrid, Instance, IntervalEngine};
 use cawo_graph::generator::{generate, Family, GeneratorConfig};
 use cawo_heft::heft_schedule;
 use cawo_platform::{Cluster, DeadlineFactor};
@@ -33,8 +33,11 @@ fn bench_components(c: &mut Criterion) {
     c.bench_function("carbon_cost_sweep_1000", |b| {
         b.iter(|| black_box(carbon_cost(&f.inst, &asap, &f.profile)));
     });
-    c.bench_function("power_grid_build_1000", |b| {
-        b.iter(|| black_box(PowerGrid::new(&f.inst, &asap, &f.profile)));
+    c.bench_function("dense_grid_build_1000", |b| {
+        b.iter(|| black_box(DenseGrid::build(&f.inst, &asap, &f.profile)));
+    });
+    c.bench_function("interval_engine_build_1000", |b| {
+        b.iter(|| black_box(IntervalEngine::build(&f.inst, &asap, &f.profile)));
     });
     c.bench_function("bounds_init_1000", |b| {
         b.iter(|| black_box(Bounds::new(&f.inst, f.profile.deadline())));

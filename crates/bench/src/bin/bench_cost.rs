@@ -1,0 +1,122 @@
+//! Measures the dense vs interval cost engines across horizon lengths
+//! and emits a machine-readable `BENCH_cost.json` (written to the
+//! current directory, mirrored on stdout).
+//!
+//! ```text
+//! cargo run --release -p cawo_bench --bin bench_cost
+//! ```
+//!
+//! The headline number is `shift_delta_speedup` at the largest horizon:
+//! the interval engine prices the same move in time independent of the
+//! horizon, so the ratio grows linearly with `T` (≥10× is the
+//! acceptance bar at 100k time units).
+
+use std::time::Instant;
+
+use cawo_bench::fixtures::{horizon_fixture, COST_ENGINE_HORIZONS, COST_ENGINE_TASKS};
+use cawo_core::{CostEngine, DenseGrid, IntervalEngine, Schedule};
+use cawo_platform::{PowerProfile, Time};
+
+/// Median seconds per call over `samples` timed samples of `iters`
+/// calls each.
+fn median_secs<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Row {
+    horizon: u64,
+    engine: &'static str,
+    build_s: f64,
+    total_cost_s: f64,
+    shift_delta_s: f64,
+}
+
+fn measure<E: CostEngine>(
+    inst: &cawo_core::Instance,
+    sched: &Schedule,
+    profile: &PowerProfile,
+    horizon: Time,
+) -> Row {
+    let task_len = inst.exec(0);
+    let w = inst.work_power(0) as i64;
+    let (from, to) = (sched.start(0), horizon / 2);
+    let engine = E::build(inst, sched, profile);
+    Row {
+        horizon,
+        engine: E::NAME,
+        build_s: median_secs(7, 3, || {
+            std::hint::black_box(E::build(inst, sched, profile));
+        }),
+        total_cost_s: median_secs(7, 10, || {
+            std::hint::black_box(engine.total_cost());
+        }),
+        shift_delta_s: median_secs(9, 20, || {
+            std::hint::black_box(engine.shift_delta(from, task_len, w, to));
+        }),
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for horizon in COST_ENGINE_HORIZONS {
+        let (inst, sched, profile) = horizon_fixture(horizon, COST_ENGINE_TASKS);
+        let dense = DenseGrid::build(&inst, &sched, &profile);
+        let sparse = IntervalEngine::build(&inst, &sched, &profile);
+        assert_eq!(dense.total_cost(), sparse.total_cost(), "engines disagree");
+        rows.push(measure::<DenseGrid>(&inst, &sched, &profile, horizon));
+        rows.push(measure::<IntervalEngine>(&inst, &sched, &profile, horizon));
+    }
+
+    let speedup_at = |h: u64| -> f64 {
+        let of = |name: &str| {
+            rows.iter()
+                .find(|r| r.horizon == h && r.engine == name)
+                .expect("measured")
+                .shift_delta_s
+        };
+        of(DenseGrid::NAME) / of(IntervalEngine::NAME).max(1e-12)
+    };
+
+    let mut json =
+        format!("{{\n  \"bench\": \"cost_engine\",\n  \"tasks\": {COST_ENGINE_TASKS},\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"horizon\": {}, \"engine\": \"{}\", \"build_s\": {:.3e}, \
+             \"total_cost_s\": {:.3e}, \"shift_delta_s\": {:.3e}}}{}\n",
+            r.horizon,
+            r.engine,
+            r.build_s,
+            r.total_cost_s,
+            r.shift_delta_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"shift_delta_speedup\": {{{}}}\n}}\n",
+        COST_ENGINE_HORIZONS
+            .iter()
+            .map(|&h| format!("\"{}\": {:.1}", h, speedup_at(h)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    std::fs::write("BENCH_cost.json", &json).expect("write BENCH_cost.json");
+    print!("{json}");
+    eprintln!(
+        "shift_delta speedup at {}-unit horizon: {:.1}x (wrote BENCH_cost.json)",
+        COST_ENGINE_HORIZONS[COST_ENGINE_HORIZONS.len() - 1],
+        speedup_at(COST_ENGINE_HORIZONS[COST_ENGINE_HORIZONS.len() - 1])
+    );
+}

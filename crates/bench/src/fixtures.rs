@@ -1,9 +1,11 @@
 //! Instance construction shared by every bench target.
 
-use cawo_core::Instance;
+use cawo_core::enhanced::UnitInfo;
+use cawo_core::{Instance, Schedule};
+use cawo_graph::dag::DagBuilder;
 use cawo_graph::generator::{generate, Family, GeneratorConfig};
 use cawo_heft::heft_schedule;
-use cawo_platform::{Cluster, DeadlineFactor, PowerProfile, ProfileConfig, Scenario};
+use cawo_platform::{Cluster, DeadlineFactor, PowerProfile, ProfileConfig, Scenario, Time};
 
 /// A fully prepared scheduling problem.
 pub struct Fixture {
@@ -29,6 +31,50 @@ pub fn fixture(family: Family, tasks: usize, deadline: DeadlineFactor, seed: u64
         cluster,
         profile,
     }
+}
+
+/// Horizon grid shared by the `cost_engine` criterion bench and the
+/// `bench_cost` JSON emitter — one definition so the two artifacts can
+/// never desynchronise.
+pub const COST_ENGINE_HORIZONS: [Time; 3] = [1_000, 10_000, 100_000];
+
+/// Task count for the cost-engine fixtures (constant while the horizon
+/// grows).
+pub const COST_ENGINE_TASKS: usize = 8;
+
+/// A horizon-scaling fixture for the cost-engine benches: `n_tasks`
+/// independent long tasks (length `T / 2n`) staggered across the first
+/// half of a `[0, T)` horizon under a 48-interval profile. The task
+/// *count* is constant while the horizon grows, which is exactly the
+/// regime separating the dense (O(T)) from the interval-sparse
+/// (O(breakpoints)) engine.
+pub fn horizon_fixture(horizon: Time, n_tasks: usize) -> (Instance, Schedule, PowerProfile) {
+    assert!(horizon >= 4 * n_tasks as Time, "horizon too short");
+    let dag = DagBuilder::new(n_tasks).build().unwrap();
+    let len = horizon / (2 * n_tasks as Time);
+    let units: Vec<UnitInfo> = (0..n_tasks)
+        .map(|i| UnitInfo {
+            p_idle: (i % 3) as u64,
+            p_work: 5 + 3 * (i % 7) as u64,
+            is_link: false,
+        })
+        .collect();
+    let inst = Instance::from_raw(
+        dag,
+        vec![len; n_tasks],
+        (0..n_tasks as u32).collect(),
+        units,
+        0,
+    );
+    let sched = Schedule::new((0..n_tasks as Time).map(|i| i * len / 2).collect());
+    let j = 48.min(horizon as usize);
+    let mut boundaries = vec![0 as Time];
+    let mut budgets = Vec::with_capacity(j);
+    for k in 0..j {
+        boundaries.push((horizon as u128 * (k as u128 + 1) / j as u128) as Time);
+        budgets.push(((k * 13) % 29) as u64);
+    }
+    (inst, sched, PowerProfile::from_parts(boundaries, budgets))
 }
 
 /// Workflow sizes for the large-workflow bench; override the default

@@ -9,6 +9,10 @@
 //! | `deadline_tolerance`| Fig. 13 — time vs deadline factor          |
 //! | `components`        | engine micro-benchmarks (not in the paper) |
 //! | `ablation`          | parameter ablations (µ, k, refine cap)     |
+//! | `cost_engine`       | dense vs interval cost engine over horizon |
+//!
+//! The `bench_cost` binary replays the `cost_engine` grid outside the
+//! criterion harness and emits a machine-readable `BENCH_cost.json`.
 
 #![warn(missing_docs)]
 

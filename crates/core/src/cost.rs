@@ -12,14 +12,18 @@
 //! negative in general instances, although §6.1's generation rule keeps
 //! it non-negative).
 //!
-//! Three equivalent evaluators are provided:
+//! Two stateless evaluators are provided here:
 //!
 //! * [`carbon_cost`] — the polynomial interval/subinterval sweep of
 //!   Appendix A.1 (`O((N + J) log N)`), used for all reported costs,
 //! * [`carbon_cost_naive`] — the pseudo-polynomial per-time-unit loop
-//!   from §3, kept as a test oracle,
-//! * [`PowerGrid`] — a per-time-unit working-power array supporting O(1)
-//!   per-time-unit move deltas, powering the local search (§5.3).
+//!   from §3, kept as a test oracle.
+//!
+//! The *incremental* evaluators that power the local search live in
+//! [`crate::engine`]: the [`crate::engine::CostEngine`] trait with the
+//! per-time-unit [`crate::engine::DenseGrid`] oracle and the
+//! interval-sparse [`crate::engine::IntervalEngine`] production
+//! backend.
 
 use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
@@ -127,124 +131,6 @@ pub fn carbon_cost_naive(inst: &Instance, sched: &Schedule, profile: &PowerProfi
         cost += (idle + work - budget).max(0) as u128;
     }
     Cost::try_from(cost).expect("carbon cost fits in u64")
-}
-
-/// Per-time-unit working-power grid with O(1) single-unit updates.
-///
-/// The local search evaluates O(µ) candidate moves per task; each
-/// candidate's cost delta only touches the symmetric difference of the
-/// old and new execution windows, so with this grid a candidate is
-/// evaluated in `O(|shift|)` instead of re-costing the entire schedule.
-#[derive(Debug, Clone)]
-pub struct PowerGrid {
-    /// Working power per time unit.
-    work: Vec<i32>,
-    /// `d(t) = G(t) - Σ P_idle` per time unit (may be negative).
-    headroom: Vec<i32>,
-    horizon: Time,
-}
-
-impl PowerGrid {
-    /// Builds the grid for `sched` over the profile's horizon. The
-    /// schedule must respect the deadline.
-    pub fn new(inst: &Instance, sched: &Schedule, profile: &PowerProfile) -> Self {
-        let horizon = profile.deadline();
-        let idle = inst.total_idle_power() as i64;
-        let mut work = vec![0i32; horizon as usize];
-        for v in 0..inst.node_count() as NodeId {
-            let w = inst.work_power(v) as i32;
-            let s = sched.start(v) as usize;
-            let e = sched.finish(v, inst) as usize;
-            debug_assert!(e <= horizon as usize, "schedule exceeds profile horizon");
-            for slot in &mut work[s..e] {
-                *slot += w;
-            }
-        }
-        let mut headroom = vec![0i32; horizon as usize];
-        for j in 0..profile.interval_count() {
-            let (b, e) = profile.interval_span(j);
-            let d = profile.budget(j) as i64 - idle;
-            let d = i32::try_from(d).expect("headroom fits in i32");
-            for slot in &mut headroom[b as usize..e as usize] {
-                *slot = d;
-            }
-        }
-        PowerGrid {
-            work,
-            headroom,
-            horizon,
-        }
-    }
-
-    /// Horizon length `T`.
-    pub fn horizon(&self) -> Time {
-        self.horizon
-    }
-
-    /// Cost contribution of one time unit.
-    #[inline]
-    fn unit_cost(&self, t: usize) -> i64 {
-        (self.work[t] as i64 - self.headroom[t] as i64).max(0)
-    }
-
-    /// Cost contribution of one time unit if its working power changed by
-    /// `delta`.
-    #[inline]
-    fn unit_cost_with(&self, t: usize, delta: i32) -> i64 {
-        ((self.work[t] + delta) as i64 - self.headroom[t] as i64).max(0)
-    }
-
-    /// Total cost under the current grid.
-    pub fn total_cost(&self) -> Cost {
-        let mut c: i64 = 0;
-        for t in 0..self.work.len() {
-            c += self.unit_cost(t);
-        }
-        c as Cost
-    }
-
-    /// Cost change if a task of working power `w` and length `len`
-    /// currently executing in `[start, start+len)` moved to
-    /// `[new_start, new_start+len)`. Negative = improvement.
-    pub fn shift_delta(&self, start: Time, len: Time, w: i32, new_start: Time) -> i64 {
-        if start == new_start || w == 0 {
-            return 0;
-        }
-        debug_assert!(new_start + len <= self.horizon);
-        let (s0, e0) = (start, start + len);
-        let (s1, e1) = (new_start, new_start + len);
-        let mut delta = 0i64;
-        // Time units vacated by the move: in [s0, e0) but not [s1, e1).
-        for t in range_difference(s0, e0, s1, e1) {
-            delta += self.unit_cost_with(t as usize, -w) - self.unit_cost(t as usize);
-        }
-        // Time units newly occupied: in [s1, e1) but not [s0, e0).
-        for t in range_difference(s1, e1, s0, e0) {
-            delta += self.unit_cost_with(t as usize, w) - self.unit_cost(t as usize);
-        }
-        delta
-    }
-
-    /// Applies the move evaluated by [`PowerGrid::shift_delta`].
-    pub fn apply_shift(&mut self, start: Time, len: Time, w: i32, new_start: Time) {
-        if start == new_start || w == 0 {
-            return;
-        }
-        for t in range_difference(start, start + len, new_start, new_start + len) {
-            self.work[t as usize] -= w;
-        }
-        for t in range_difference(new_start, new_start + len, start, start + len) {
-            self.work[t as usize] += w;
-        }
-    }
-}
-
-/// Iterates over `[a, b) \ [c, d)` (at most two disjoint runs, returned
-/// as a chained iterator).
-fn range_difference(a: Time, b: Time, c: Time, d: Time) -> impl Iterator<Item = Time> {
-    let left = a..b.min(c.max(a));
-    let right = a.max(d.min(b))..b;
-    left.chain(right)
 }
 
 #[cfg(test)]
@@ -358,73 +244,6 @@ mod tests {
                 carbon_cost_naive(&inst, &s, &profile)
             );
         }
-    }
-
-    #[test]
-    fn grid_total_matches_sweep() {
-        let inst = two_task_instance();
-        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![10, 6]);
-        let s = Schedule::new(vec![0, 4]);
-        let grid = PowerGrid::new(&inst, &s, &profile);
-        // Grid counts only the work-vs-headroom overshoot; with
-        // G >= idle here that's the same as the carbon cost.
-        assert_eq!(grid.total_cost(), carbon_cost(&inst, &s, &profile));
-    }
-
-    #[test]
-    fn grid_shift_delta_matches_recost() {
-        let inst = two_task_instance();
-        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![12, 18]);
-        let s = Schedule::new(vec![0, 0]);
-        let grid = PowerGrid::new(&inst, &s, &profile);
-        // Move task 0 (len 4, w 10) from 0 to each feasible start.
-        for ns in 0..=4 as Time {
-            let mut s2 = s.clone();
-            s2.set_start(0, ns);
-            let expected =
-                carbon_cost(&inst, &s2, &profile) as i64 - carbon_cost(&inst, &s, &profile) as i64;
-            assert_eq!(grid.shift_delta(0, 4, 10, ns), expected, "ns={ns}");
-        }
-    }
-
-    #[test]
-    fn grid_apply_then_total_is_consistent() {
-        let inst = two_task_instance();
-        let profile = PowerProfile::from_parts(vec![0, 4, 8], vec![12, 18]);
-        let mut s = Schedule::new(vec![0, 0]);
-        let mut grid = PowerGrid::new(&inst, &s, &profile);
-        let before = grid.total_cost() as i64;
-        let delta = grid.shift_delta(0, 4, 10, 3);
-        grid.apply_shift(0, 4, 10, 3);
-        s.set_start(0, 3);
-        assert_eq!(grid.total_cost() as i64, before + delta);
-        assert_eq!(grid.total_cost(), carbon_cost(&inst, &s, &profile));
-    }
-
-    #[test]
-    fn range_difference_cases() {
-        let collect = |a, b, c, d| range_difference(a, b, c, d).collect::<Vec<_>>();
-        // Disjoint.
-        assert_eq!(collect(0, 3, 5, 8), vec![0, 1, 2]);
-        // Overlap right.
-        assert_eq!(collect(0, 5, 3, 8), vec![0, 1, 2]);
-        // Overlap left.
-        assert_eq!(collect(3, 8, 0, 5), vec![5, 6, 7]);
-        // Contained: nothing left.
-        assert_eq!(collect(2, 4, 0, 8), Vec::<Time>::new());
-        // Contains: both sides (shift by more than len would hit this).
-        assert_eq!(collect(0, 8, 2, 4), vec![0, 1, 4, 5, 6, 7]);
-        // Identical.
-        assert_eq!(collect(1, 4, 1, 4), Vec::<Time>::new());
-    }
-
-    #[test]
-    fn zero_power_shift_is_free() {
-        let inst = two_task_instance();
-        let profile = PowerProfile::uniform(10, 0);
-        let s = Schedule::new(vec![0, 0]);
-        let grid = PowerGrid::new(&inst, &s, &profile);
-        assert_eq!(grid.shift_delta(0, 4, 0, 6), 0);
     }
 }
 

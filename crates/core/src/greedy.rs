@@ -15,6 +15,7 @@
 use cawo_platform::{PowerProfile, Time};
 
 use crate::bounds::Bounds;
+use crate::engine::CostEngine;
 use crate::enhanced::Instance;
 use crate::schedule::Schedule;
 use crate::scores::{score_order, Score};
@@ -159,6 +160,21 @@ pub fn greedy_schedule(inst: &Instance, profile: &PowerProfile, cfg: GreedyConfi
         ivals.occupy(s, s + inst.exec(v), inst.unit_total_power(v) as i64);
     }
     Schedule::new(start)
+}
+
+/// Runs the greedy variant and hands back a [`CostEngine`] tracking the
+/// produced schedule, ready for the local-search phase (the `-LS`
+/// variants evaluate thousands of candidate shifts against it; building
+/// it here lets [`crate::variant::Variant::run_with`] stay generic over
+/// the backend).
+pub fn greedy_schedule_with_engine<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    cfg: GreedyConfig,
+) -> (Schedule, E) {
+    let sched = greedy_schedule(inst, profile, cfg);
+    let engine = E::build(inst, &sched, profile);
+    (sched, engine)
 }
 
 #[cfg(test)]
@@ -346,6 +362,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn greedy_with_engine_tracks_the_schedule() {
+        use crate::engine::{DenseGrid, IntervalEngine};
+        let inst = single_task(4, 10);
+        let profile = PowerProfile::from_parts(vec![0, 10, 20, 30], vec![1, 12, 3]);
+        let cfg = GreedyConfig::new(Score::Pressure, true, true);
+        let (sched, engine) = greedy_schedule_with_engine::<IntervalEngine>(&inst, &profile, cfg);
+        assert_eq!(engine.total_cost(), carbon_cost(&inst, &sched, &profile));
+        let (sched2, oracle) = greedy_schedule_with_engine::<DenseGrid>(&inst, &profile, cfg);
+        assert_eq!(sched, sched2, "engine choice must not affect greedy");
+        assert_eq!(oracle.total_cost(), engine.total_cost());
     }
 
     #[test]

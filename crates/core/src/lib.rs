@@ -7,21 +7,27 @@
 //!   processor, with ordering constraints (`E''`) baked in as edges,
 //! * [`schedule`] — start-time assignments over `Gc` plus validity checks,
 //! * [`cost`] — the carbon-cost function: the polynomial interval-sweep
-//!   algorithm of Appendix A.1, a pseudo-polynomial per-time-unit oracle,
-//!   and an incremental per-time-unit engine used by the local search,
+//!   algorithm of Appendix A.1 and a pseudo-polynomial per-time-unit
+//!   oracle,
+//! * [`engine`] — the [`engine::CostEngine`] trait behind all
+//!   incremental cost evaluation, with two interchangeable backends:
+//!   the per-time-unit [`engine::DenseGrid`] oracle and the
+//!   interval-sparse [`engine::IntervalEngine`] whose operations cost
+//!   `O(breakpoints touched)` instead of `O(horizon)`,
 //! * [`bounds`] — earliest/latest start times (EST/LST) with dynamic
 //!   updates after each placement (§5.2),
 //! * [`scores`] — slack, pressure and their power-weighted variants,
 //! * [`subdivision`] — the refined interval subdivision built from blocks
 //!   of at most `k` consecutive tasks (§5.2),
 //! * [`greedy`] — the greedy placement procedure (8 variants),
-//! * [`local_search`] — the hill-climbing refinement (suffix `-LS`),
+//! * [`mod@local_search`] — the hill-climbing refinement (suffix `-LS`),
 //! * [`variant`] — the 16 named CaWoSched variants plus the ASAP baseline.
 
 #![warn(missing_docs)]
 
 pub mod bounds;
 pub mod cost;
+pub mod engine;
 pub mod enhanced;
 pub mod greedy;
 pub mod local_search;
@@ -31,10 +37,14 @@ pub mod subdivision;
 pub mod variant;
 
 pub use bounds::Bounds;
-pub use cost::{carbon_cost, carbon_cost_naive, energy_report, Cost, EnergyReport, PowerGrid};
+pub use cost::{carbon_cost, carbon_cost_naive, energy_report, Cost, EnergyReport};
+pub use engine::{CostEngine, DenseGrid, EngineKind, IntervalEngine};
 pub use enhanced::{Instance, NodeKind, UnitId};
-pub use greedy::{greedy_schedule, GreedyConfig};
-pub use local_search::{local_search, local_search_with_policy, LocalSearchStats, LsPolicy};
+pub use greedy::{greedy_schedule, greedy_schedule_with_engine, GreedyConfig};
+pub use local_search::{
+    local_search, local_search_on_engine, local_search_with_engine, local_search_with_policy,
+    LocalSearchStats, LsPolicy,
+};
 pub use schedule::{Schedule, ScheduleError};
 pub use scores::Score;
-pub use variant::Variant;
+pub use variant::{RunParams, Variant};

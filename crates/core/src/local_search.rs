@@ -13,12 +13,16 @@
 //! Legality of a move only depends on the *current* placements of the
 //! task's `Gc` neighbours (which include its unit-order neighbours), so
 //! the feasible window is `[max preds finish, min succs start - ω(v)]`
-//! clipped to the horizon. Gains are evaluated in `O(|shift|)` through
-//! the incremental [`PowerGrid`].
+//! clipped to the horizon. Gains are evaluated incrementally through a
+//! [`CostEngine`]: candidate shifts are priced via
+//! [`CostEngine::shift_delta`] without cloning or re-costing the
+//! schedule, and the search is generic over the backend — the
+//! interval-sparse [`IntervalEngine`] by default, the dense oracle on
+//! request.
 
 use cawo_platform::{PowerProfile, Time};
 
-use crate::cost::PowerGrid;
+use crate::engine::{CostEngine, IntervalEngine};
 use crate::enhanced::Instance;
 use crate::schedule::Schedule;
 
@@ -49,8 +53,9 @@ pub enum LsPolicy {
 }
 
 /// Runs the local search in place with the paper's first-improvement
-/// policy. `mu` is the shift window (paper: 10). Returns statistics; the
-/// schedule is only ever improved.
+/// policy and the default ([`IntervalEngine`]) cost backend. `mu` is the
+/// shift window (paper: 10). Returns statistics; the schedule is only
+/// ever improved.
 pub fn local_search(
     inst: &Instance,
     profile: &PowerProfile,
@@ -60,7 +65,8 @@ pub fn local_search(
     local_search_with_policy(inst, profile, sched, mu, LsPolicy::FirstImprovement)
 }
 
-/// Runs the local search with an explicit move-acceptance policy.
+/// Runs the local search with an explicit move-acceptance policy on the
+/// default ([`IntervalEngine`]) cost backend.
 pub fn local_search_with_policy(
     inst: &Instance,
     profile: &PowerProfile,
@@ -68,8 +74,35 @@ pub fn local_search_with_policy(
     mu: Time,
     policy: LsPolicy,
 ) -> LocalSearchStats {
+    local_search_with_engine::<IntervalEngine>(inst, profile, sched, mu, policy)
+}
+
+/// Runs the local search on an explicit [`CostEngine`] backend, building
+/// the engine from the input schedule.
+pub fn local_search_with_engine<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    sched: &mut Schedule,
+    mu: Time,
+    policy: LsPolicy,
+) -> LocalSearchStats {
+    let mut engine = E::build(inst, sched, profile);
+    local_search_on_engine(inst, profile, sched, mu, policy, &mut engine)
+}
+
+/// Core hill climber over a pre-built engine (shared with
+/// [`crate::variant::Variant::run_with`], which reuses the engine the
+/// greedy phase already constructed). The engine must track `sched`.
+pub fn local_search_on_engine<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    sched: &mut Schedule,
+    mu: Time,
+    policy: LsPolicy,
+    engine: &mut E,
+) -> LocalSearchStats {
     let deadline = profile.deadline();
-    let mut grid = PowerGrid::new(inst, sched, profile);
+    debug_assert_eq!(engine.horizon(), deadline);
 
     // Units by non-increasing working power, ties by id.
     let mut units: Vec<u32> = (0..inst.unit_count() as u32).collect();
@@ -82,7 +115,7 @@ pub fn local_search_with_policy(
         for &u in &units {
             for &v in inst.unit_order(u) {
                 let len = inst.exec(v);
-                let w = inst.work_power(v) as i32;
+                let w = inst.work_power(v) as i64;
                 if w == 0 {
                     continue;
                 }
@@ -111,7 +144,7 @@ pub fn local_search_with_policy(
                 let mut cand = lo;
                 while cand <= hi {
                     if cand != s {
-                        let delta = grid.shift_delta(s, len, w, cand);
+                        let delta = engine.shift_delta(s, len, w, cand);
                         if delta < 0 {
                             match policy {
                                 LsPolicy::FirstImprovement => {
@@ -129,7 +162,7 @@ pub fn local_search_with_policy(
                     cand += 1;
                 }
                 if let Some((target, delta)) = chosen {
-                    grid.apply_shift(s, len, w, target);
+                    engine.apply_shift(s, len, w, target);
                     sched.set_start(v, target);
                     stats.moves += 1;
                     round_gain += -delta;
@@ -300,6 +333,64 @@ mod tests {
         assert_eq!(before - after, stats.gain);
         assert!(after <= before);
         assert!(sched.validate(&inst, profile.deadline()).is_ok());
+    }
+
+    #[test]
+    fn engines_take_identical_move_sequences() {
+        // Both engines return *exact* deltas, so the deterministic hill
+        // climber must make the same moves on either backend — the
+        // resulting schedules are equal, not merely equal-cost.
+        use crate::engine::DenseGrid;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..8);
+            let mut b = DagBuilder::new(n);
+            for i in 0..n as u32 {
+                for j in i + 1..n as u32 {
+                    if rng.gen_bool(0.25) {
+                        b.add_edge(i, j);
+                    }
+                }
+            }
+            let units: Vec<UnitInfo> = (0..2)
+                .map(|_| UnitInfo {
+                    p_idle: rng.gen_range(0..3),
+                    p_work: rng.gen_range(1..15),
+                    is_link: false,
+                })
+                .collect();
+            let inst = Instance::from_raw(
+                b.build().unwrap(),
+                (0..n).map(|_| rng.gen_range(1..6)).collect(),
+                (0..n).map(|_| rng.gen_range(0..2)).collect(),
+                units,
+                0,
+            );
+            let asap = inst.asap_schedule();
+            let deadline = asap.makespan(&inst) * 2 + 6;
+            let q = deadline / 3;
+            let profile = PowerProfile::from_parts(
+                vec![0, q, 2 * q, deadline],
+                (0..3).map(|_| rng.gen_range(0..20)).collect(),
+            );
+            for policy in [LsPolicy::FirstImprovement, LsPolicy::BestImprovement] {
+                let mut dense = asap.clone();
+                let mut sparse = asap.clone();
+                let ds =
+                    local_search_with_engine::<DenseGrid>(&inst, &profile, &mut dense, 9, policy);
+                let is = local_search_with_engine::<IntervalEngine>(
+                    &inst,
+                    &profile,
+                    &mut sparse,
+                    9,
+                    policy,
+                );
+                assert_eq!(dense, sparse, "trial {trial} {policy:?}");
+                assert_eq!(ds, is, "trial {trial} {policy:?}");
+            }
+        }
     }
 
     #[test]

@@ -6,14 +6,15 @@
 
 use cawo_platform::{PowerProfile, Time};
 
+use crate::engine::{CostEngine, DenseGrid, EngineKind, IntervalEngine};
 use crate::enhanced::Instance;
-use crate::greedy::{greedy_schedule, GreedyConfig};
-use crate::local_search::local_search;
+use crate::greedy::{greedy_schedule, greedy_schedule_with_engine, GreedyConfig};
+use crate::local_search::{local_search_on_engine, LsPolicy};
 use crate::schedule::Schedule;
 use crate::scores::Score;
 
 /// Tunable parameters shared by all variants (paper defaults: `k = 3`,
-/// `µ = 10`).
+/// `µ = 10`; cost engine: interval-sparse).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunParams {
     /// Local-search window `µ`.
@@ -23,6 +24,10 @@ pub struct RunParams {
     /// Cap on refined boundaries (tractability guard; `usize::MAX` to
     /// reproduce the uncapped construction).
     pub refine_cap: usize,
+    /// Incremental cost backend for the `-LS` phase. Both backends
+    /// produce identical schedules (the deltas are exact either way);
+    /// [`EngineKind::Dense`] re-enables the pseudo-polynomial oracle.
+    pub engine: EngineKind,
 }
 
 impl Default for RunParams {
@@ -31,6 +36,7 @@ impl Default for RunParams {
             mu: 10,
             block_k: 3,
             refine_cap: 4096,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -137,9 +143,14 @@ impl Variant {
         }
     }
 
-    /// Parses a paper name (inverse of [`Variant::name`]).
+    /// Parses a paper name (inverse of [`Variant::name`]). Matching is
+    /// ASCII case-insensitive — paper names mix cases (`ASAP`,
+    /// `pressWR-LS`) and CLI users should not have to remember which
+    /// letters are capitalised.
     pub fn from_name(name: &str) -> Option<Variant> {
-        Variant::ALL.into_iter().find(|v| v.name() == name)
+        Variant::ALL
+            .into_iter()
+            .find(|v| v.name().eq_ignore_ascii_case(name))
     }
 
     /// Greedy components `(score, weighted, refined, local_search)`;
@@ -194,7 +205,9 @@ impl Variant {
         self.run_with(inst, profile, RunParams::default())
     }
 
-    /// Runs the variant with explicit parameters.
+    /// Runs the variant with explicit parameters. The cost engine named
+    /// by `params.engine` is built once after the greedy phase and
+    /// drives the whole local search.
     pub fn run_with(self, inst: &Instance, profile: &PowerProfile, params: RunParams) -> Schedule {
         match self.components() {
             None => inst.asap_schedule(),
@@ -206,14 +219,35 @@ impl Variant {
                     block_k: params.block_k,
                     refine_cap: params.refine_cap,
                 };
-                let mut sched = greedy_schedule(inst, profile, cfg);
-                if ls {
-                    local_search(inst, profile, &mut sched, params.mu);
+                if !ls {
+                    return greedy_schedule(inst, profile, cfg);
                 }
-                sched
+                match params.engine {
+                    EngineKind::Dense => run_ls::<DenseGrid>(inst, profile, cfg, params.mu),
+                    EngineKind::Interval => run_ls::<IntervalEngine>(inst, profile, cfg, params.mu),
+                }
             }
         }
     }
+}
+
+/// Greedy + local search over one concrete engine backend.
+fn run_ls<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    cfg: GreedyConfig,
+    mu: Time,
+) -> Schedule {
+    let (mut sched, mut engine) = greedy_schedule_with_engine::<E>(inst, profile, cfg);
+    local_search_on_engine(
+        inst,
+        profile,
+        &mut sched,
+        mu,
+        LsPolicy::FirstImprovement,
+        &mut engine,
+    );
+    sched
 }
 
 impl std::fmt::Display for Variant {
@@ -244,6 +278,44 @@ mod tests {
             assert_eq!(Variant::from_name(v.name()), Some(v));
         }
         assert_eq!(Variant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn from_name_is_case_insensitive() {
+        assert_eq!(Variant::from_name("asap"), Some(Variant::Asap));
+        assert_eq!(Variant::from_name("ASAP"), Some(Variant::Asap));
+        assert_eq!(Variant::from_name("presswr-ls"), Some(Variant::PressWRLs));
+        assert_eq!(Variant::from_name("PRESSWR-LS"), Some(Variant::PressWRLs));
+        assert_eq!(Variant::from_name("SlackW"), Some(Variant::SlackW));
+    }
+
+    #[test]
+    fn both_engines_produce_identical_schedules() {
+        let wf = generate(&GeneratorConfig::new(Family::Methylseq, 50, 9));
+        let cluster = Cluster::from_type_counts("mini", &[1, 1, 0, 1, 1, 0], 9);
+        let mapping = heft_schedule(&wf, &cluster);
+        let inst = Instance::build(&wf, &cluster, &mapping);
+        let profile = ProfileConfig::new(Scenario::SolarMidday, DeadlineFactor::X20, 9)
+            .build(&cluster, inst.asap_makespan());
+        for v in Variant::ALL {
+            let dense = v.run_with(
+                &inst,
+                &profile,
+                RunParams {
+                    engine: crate::engine::EngineKind::Dense,
+                    ..RunParams::default()
+                },
+            );
+            let sparse = v.run_with(
+                &inst,
+                &profile,
+                RunParams {
+                    engine: crate::engine::EngineKind::Interval,
+                    ..RunParams::default()
+                },
+            );
+            assert_eq!(dense, sparse, "{v}");
+        }
     }
 
     #[test]

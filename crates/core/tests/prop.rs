@@ -6,7 +6,8 @@ use proptest::prelude::*;
 
 use cawo_core::enhanced::UnitInfo;
 use cawo_core::{
-    carbon_cost, carbon_cost_naive, local_search, Bounds, Instance, PowerGrid, Schedule, Variant,
+    carbon_cost, carbon_cost_naive, local_search, Bounds, CostEngine, DenseGrid, Instance,
+    IntervalEngine, Schedule, Variant,
 };
 use cawo_graph::dag::DagBuilder;
 use cawo_graph::NodeId;
@@ -117,12 +118,12 @@ proptest! {
             vec![0, horizon / 2, horizon],
             vec![3, 11],
         );
-        let grid = PowerGrid::new(&inst, &asap, &profile);
+        let grid = DenseGrid::new(&inst, &asap, &profile);
         prop_assert_eq!(grid.total_cost(), carbon_cost(&inst, &asap, &profile));
         // Shifting the last node anywhere ahead matches a full re-cost.
         let v = (inst.node_count() - 1) as NodeId;
         let len = inst.exec(v);
-        let w = inst.work_power(v) as i32;
+        let w = inst.work_power(v) as i64;
         let s = asap.start(v);
         for ns in s..=(horizon - len).min(s + 6) {
             let mut moved = asap.clone();
@@ -130,6 +131,71 @@ proptest! {
             let expect = carbon_cost(&inst, &moved, &profile) as i64
                 - carbon_cost(&inst, &asap, &profile) as i64;
             prop_assert_eq!(grid.shift_delta(s, len, w, ns), expect);
+        }
+    }
+
+    // The differential engine test: `IntervalEngine` and `DenseGrid`
+    // must agree on `total_cost` and on every `shift_delta`, across
+    // random instances, random (valid) schedules and random multi-
+    // interval profiles — and stay in agreement through a random
+    // sequence of applied shifts.
+    #[test]
+    fn interval_engine_matches_dense_grid(
+        raw in raw_instance(9),
+        budgets in proptest::collection::vec(0u64..25, 2..6),
+        seed in any::<u64>(),
+    ) {
+        let inst = raw.build();
+        let asap = inst.asap_schedule();
+        let horizon = asap.makespan(&inst) * 2 + budgets.len() as u64 + 1;
+        // Random interval boundaries via a deterministic LCG.
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let j = budgets.len() as u64;
+        let mut bounds = vec![0 as Time];
+        for k in 1..=j {
+            let t = horizon * k / j;
+            if t > *bounds.last().unwrap() {
+                bounds.push(t);
+            }
+        }
+        let m = bounds.len() - 1;
+        let profile = PowerProfile::from_parts(bounds, budgets[..m].to_vec());
+
+        // Start from a random valid schedule: ASAP plus a per-node slack
+        // shift bounded so precedences cannot break (uniform delay).
+        let delay = next() % (horizon - asap.makespan(&inst).max(1) + 1);
+        let mut sched = Schedule::new(asap.starts().iter().map(|&s| s + delay).collect());
+
+        let mut dense = DenseGrid::build(&inst, &sched, &profile);
+        let mut sparse = IntervalEngine::build(&inst, &sched, &profile);
+        prop_assert_eq!(dense.total_cost(), carbon_cost(&inst, &sched, &profile));
+        prop_assert_eq!(sparse.total_cost(), dense.total_cost());
+
+        // Random walk of shifts, applied to both engines in lock-step.
+        let n = inst.node_count() as NodeId;
+        for _ in 0..12 {
+            let v = (next() % n as u64) as NodeId;
+            let len = inst.exec(v);
+            let w = inst.work_power(v) as i64;
+            let s = sched.start(v);
+            let ns = next() % (horizon - len + 1);
+            prop_assert_eq!(
+                dense.shift_delta(s, len, w, ns),
+                sparse.shift_delta(s, len, w, ns),
+                "shift {} -> {} (len {}, w {})", s, ns, len, w
+            );
+            dense.apply_shift(s, len, w, ns);
+            sparse.apply_shift(s, len, w, ns);
+            sched.set_start(v, ns);
+            let sweep = carbon_cost(&inst, &sched, &profile);
+            prop_assert_eq!(dense.total_cost(), sweep);
+            prop_assert_eq!(sparse.total_cost(), sweep);
         }
     }
 

@@ -246,7 +246,7 @@ impl Dag {
             .flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
     }
 
-    /// Kahn's algorithm [21]. Returns a topological order, or `None` if the
+    /// Kahn's algorithm \[21\]. Returns a topological order, or `None` if the
     /// graph has a cycle (only possible for graphs built unsafely).
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let n = self.node_count();

@@ -1,6 +1,6 @@
 //! WfCommons workflow-instance import.
 //!
-//! WfCommons [11] is the framework behind the WfGen generator the paper
+//! WfCommons \[11\] is the framework behind the WfGen generator the paper
 //! uses for its scaled workflows; its JSON "WfFormat" is the de-facto
 //! interchange format for scientific-workflow research. This module
 //! reads the subset needed to schedule an instance:

@@ -1,4 +1,4 @@
-//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al. [34]).
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al. \[34\]).
 //!
 //! CaWoSched assumes the *mapping* of tasks to processors and the
 //! *ordering* of tasks and communications on each processor/link are

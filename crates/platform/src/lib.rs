@@ -20,7 +20,9 @@ pub mod profile;
 
 pub use cluster::{Cluster, LinkId, ProcId};
 pub use processor::{ProcessorType, PAPER_PROCESSOR_TYPES};
-pub use profile::{DeadlineFactor, PowerProfile, ProfileConfig, Scenario};
+pub use profile::{
+    DeadlineFactor, PowerProfile, ProfileConfig, Scenario, TraceConfig, TraceError, TraceSource,
+};
 
 /// Discrete time (integer multiples of the paper's time unit).
 pub type Time = u64;

@@ -14,6 +14,15 @@
 //!
 //! Budgets are clamped to `[Σ P_idle, Σ P_idle + 0.8 · Σ P_work]` so that
 //! scheduling decisions actually matter (§6.1).
+//!
+//! Beyond the synthetic S1–S4 shapes, a profile can be driven by a
+//! *measured* carbon-intensity trace ([`TraceSource`] /
+//! [`TraceConfig`]): every trace sample becomes its own interval, so a
+//! year of hourly grid data yields thousands of intervals — affordable
+//! with `cawo_core`'s interval-sparse cost engine, which scales with
+//! the number of intervals rather than the horizon length.
+
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -184,6 +193,231 @@ impl ProfileConfig {
             boundaries: clean_b,
             budgets: clean_g,
         }
+    }
+}
+
+/// Where a measured carbon-intensity trace comes from.
+///
+/// A trace is a sequence of `(time, carbon intensity)` samples — the
+/// shape real grid-data providers publish (e.g. hourly gCO₂eq/kWh
+/// rows). [`TraceConfig`] turns one into a [`PowerProfile`]: high
+/// intensity means little green surplus, low intensity means much.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSource {
+    /// Inline CSV text (`time,intensity` rows; `#` comments and one
+    /// optional header line are skipped).
+    Csv(String),
+    /// A CSV file on disk, same format as [`TraceSource::Csv`].
+    CsvFile(PathBuf),
+    /// Already-parsed samples: strictly increasing times, arbitrary
+    /// non-negative intensities.
+    Points(Vec<(Time, f64)>),
+}
+
+/// Why a trace could not be loaded or converted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The file behind [`TraceSource::CsvFile`] could not be read.
+    Io(String),
+    /// A CSV row did not parse as `time,intensity`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The trace contains no samples.
+    Empty,
+    /// Sample times are not strictly increasing.
+    NonMonotonic {
+        /// 1-based line (or sample) number of the offending entry.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "cannot read trace: {e}"),
+            TraceError::Parse { line, msg } => write!(f, "trace line {line}: {msg}"),
+            TraceError::Empty => write!(f, "trace has no samples"),
+            TraceError::NonMonotonic { line } => {
+                write!(f, "trace line {line}: times must strictly increase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl TraceSource {
+    /// Loads and validates the samples.
+    pub fn load(&self) -> Result<Vec<(Time, f64)>, TraceError> {
+        let points = match self {
+            // CSV sources validate monotonicity during parsing, where
+            // real file line numbers are still known.
+            TraceSource::Csv(text) => parse_trace_csv(text)?,
+            TraceSource::CsvFile(path) => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| TraceError::Io(e.to_string()))?;
+                parse_trace_csv(&text)?
+            }
+            TraceSource::Points(p) => {
+                for (i, w) in p.windows(2).enumerate() {
+                    if w[1].0 <= w[0].0 {
+                        // 1-based sample number of the offending entry.
+                        return Err(TraceError::NonMonotonic { line: i + 2 });
+                    }
+                }
+                p.clone()
+            }
+        };
+        if points.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(points)
+    }
+}
+
+/// Parses `time,intensity` CSV. Empty lines and `#` comments are
+/// skipped; a first row whose time field is not numeric is treated as a
+/// header.
+fn parse_trace_csv(text: &str) -> Result<Vec<(Time, f64)>, TraceError> {
+    let mut points = Vec::new();
+    let mut first_row = true;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let header_candidate = first_row;
+        first_row = false;
+        let mut fields = line.split(',').map(str::trim);
+        let t_field = fields.next().unwrap_or("");
+        let v_field = fields.next().ok_or(TraceError::Parse {
+            line: i + 1,
+            msg: "expected `time,intensity`".into(),
+        })?;
+        let t: Time = match t_field.parse() {
+            Ok(t) => t,
+            // Allow exactly one header row: the very first content row,
+            // and only when *neither* column is numeric — a first row
+            // like `0.0,400` is a malformed data row (float timestamp),
+            // not a header, and silently dropping it would lose a
+            // sample.
+            Err(_) if header_candidate && v_field.parse::<f64>().is_err() => continue,
+            Err(e) => {
+                return Err(TraceError::Parse {
+                    line: i + 1,
+                    msg: format!("bad time `{t_field}`: {e}"),
+                })
+            }
+        };
+        let v: f64 = v_field.parse().map_err(|e| TraceError::Parse {
+            line: i + 1,
+            msg: format!("bad intensity `{v_field}`: {e}"),
+        })?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(TraceError::Parse {
+                line: i + 1,
+                msg: format!("intensity {v} must be finite and non-negative"),
+            });
+        }
+        if let Some(&(prev, _)) = points.last() {
+            if t <= prev {
+                return Err(TraceError::NonMonotonic { line: i + 1 });
+            }
+        }
+        points.push((t, v));
+    }
+    Ok(points)
+}
+
+/// Builds a [`PowerProfile`] from a measured carbon-intensity trace —
+/// the trace-driven scenario kind alongside the synthetic S1–S4 shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Where the samples come from.
+    pub source: TraceSource,
+    /// Deadline tolerance relative to the ASAP makespan (§6.1).
+    pub deadline: DeadlineFactor,
+}
+
+impl TraceConfig {
+    /// Bundles a source with a deadline factor.
+    pub fn new(source: TraceSource, deadline: DeadlineFactor) -> Self {
+        TraceConfig { source, deadline }
+    }
+
+    /// Builds the profile for a platform whose ASAP schedule finishes at
+    /// `asap_makespan`.
+    pub fn build(
+        &self,
+        cluster: &Cluster,
+        asap_makespan: Time,
+    ) -> Result<PowerProfile, TraceError> {
+        let horizon = self.deadline.apply(asap_makespan.max(1));
+        self.build_over_horizon(cluster, horizon)
+    }
+
+    /// Builds the profile over an explicit horizon `T`.
+    ///
+    /// Sample times are rescaled linearly onto `[0, T)` (the last sample
+    /// extends to `T`), and intensities map *inversely* onto the §6.1
+    /// budget band `[Σ P_idle, Σ P_idle + 0.8 · Σ P_work]`: the dirtiest
+    /// observed hour gets zero green surplus, the cleanest the full
+    /// band. Zero-length intervals produced by the rescaling (more
+    /// samples than time units) are merged away.
+    pub fn build_over_horizon(
+        &self,
+        cluster: &Cluster,
+        horizon: Time,
+    ) -> Result<PowerProfile, TraceError> {
+        assert!(horizon > 0, "horizon must be positive");
+        let points = self.source.load()?;
+        let idle = cluster.total_idle_power();
+        let work = cluster.total_work_power();
+        let green_span = (0.8 * work as f64).floor();
+
+        let lo = points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let hi = points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let budget_of = |v: f64| -> Power {
+            // Flat traces carry no signal; sit mid-band like S4.
+            let green = if hi > lo { (hi - v) / (hi - lo) } else { 0.5 };
+            idle + (green * green_span).round() as Power
+        };
+
+        // Sample i covers [t_i, t_{i+1}); the last sample extends by the
+        // final inter-sample gap (a single sample covers everything).
+        let t0 = points[0].0;
+        let n = points.len();
+        let tail_gap = if n >= 2 {
+            points[n - 1].0 - points[n - 2].0
+        } else {
+            1
+        };
+        let span = (points[n - 1].0 - t0) + tail_gap;
+        let mut boundaries = vec![0 as Time];
+        let mut budgets: Vec<Power> = Vec::new();
+        for (i, &(t, v)) in points.iter().enumerate() {
+            let end = if i + 1 < n {
+                points[i + 1].0
+            } else {
+                t + tail_gap
+            };
+            let b = ((end - t0) as u128 * horizon as u128 / span as u128) as Time;
+            // The last sample maps exactly onto the horizon; samples
+            // squeezed to zero length by the rescaling are dropped.
+            if b > *boundaries.last().unwrap() {
+                boundaries.push(b);
+                budgets.push(budget_of(v));
+            }
+        }
+        debug_assert_eq!(*boundaries.last().unwrap(), horizon);
+        Ok(PowerProfile::from_parts(boundaries, budgets))
     }
 }
 
@@ -385,6 +619,128 @@ mod tests {
     #[should_panic(expected = "boundaries must increase")]
     fn rejects_nonincreasing_boundaries() {
         let _ = PowerProfile::from_parts(vec![0, 10, 10], vec![1, 2]);
+    }
+
+    #[test]
+    fn trace_csv_roundtrip_with_header_and_comments() {
+        let src = TraceSource::Csv(
+            "# ElectricityMaps-style hourly export\n\
+             timestamp,carbon_intensity\n\
+             0,400\n3600,100\n7200,250\n"
+                .to_string(),
+        );
+        assert_eq!(
+            src.load().unwrap(),
+            vec![(0, 400.0), (3600, 100.0), (7200, 250.0)]
+        );
+    }
+
+    #[test]
+    fn trace_profile_inverts_intensity() {
+        let c = tiny_cluster();
+        let idle = c.total_idle_power();
+        let work = c.total_work_power();
+        let cfg = TraceConfig::new(
+            TraceSource::Points(vec![(0, 400.0), (10, 100.0), (20, 250.0)]),
+            DeadlineFactor::X20,
+        );
+        let p = cfg.build(&c, 150).unwrap();
+        assert_eq!(p.deadline(), 300);
+        assert_eq!(p.interval_count(), 3);
+        // Dirtiest hour (400) → idle-only budget; cleanest (100) → full band.
+        assert_eq!(p.budget(0), idle);
+        assert_eq!(p.budget(1), idle + (0.8 * work as f64).floor() as Power);
+        assert!(p.budget(2) > p.budget(0) && p.budget(2) < p.budget(1));
+        // Equal-spaced samples → thirds of the horizon.
+        assert_eq!(p.boundaries(), &[0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn trace_single_sample_and_flat_trace() {
+        let c = tiny_cluster();
+        let one = TraceConfig::new(TraceSource::Points(vec![(7, 120.0)]), DeadlineFactor::X10);
+        let p = one.build(&c, 50).unwrap();
+        assert_eq!(p.interval_count(), 1);
+        assert_eq!(p.deadline(), 50);
+        // Flat traces sit mid-band, like S4.
+        let flat = TraceConfig::new(
+            TraceSource::Points(vec![(0, 5.0), (10, 5.0)]),
+            DeadlineFactor::X10,
+        );
+        let q = flat.build(&c, 40).unwrap();
+        let mid = c.total_idle_power()
+            + (0.5 * (0.8 * c.total_work_power() as f64).floor()).round() as Power;
+        assert!(q.budgets().iter().all(|&g| g == mid));
+    }
+
+    #[test]
+    fn trace_denser_than_horizon_merges_intervals() {
+        let c = tiny_cluster();
+        // 100 samples onto a 10-unit horizon: must merge, stay valid.
+        let pts: Vec<(Time, f64)> = (0..100).map(|i| (i as Time, (i % 7) as f64)).collect();
+        let cfg = TraceConfig::new(TraceSource::Points(pts), DeadlineFactor::X10);
+        let p = cfg.build_over_horizon(&c, 10).unwrap();
+        assert_eq!(p.deadline(), 10);
+        assert!(p.interval_count() <= 10);
+        assert!(p.boundaries().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn trace_errors_are_reported() {
+        assert_eq!(
+            TraceSource::Csv(String::new()).load(),
+            Err(TraceError::Empty)
+        );
+        assert_eq!(
+            TraceSource::Points(vec![(5, 1.0), (5, 2.0)]).load(),
+            Err(TraceError::NonMonotonic { line: 2 })
+        );
+        // CSV monotonicity errors carry the real file line, with
+        // comments and a header in the way.
+        assert_eq!(
+            TraceSource::Csv("# c\ntime,ci\n0,400\n10,300\n5,200".into()).load(),
+            Err(TraceError::NonMonotonic { line: 5 })
+        );
+        assert!(matches!(
+            TraceSource::Csv("0,abc".into()).load(),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            TraceSource::Csv("0,1\nxyz,2".into()).load(),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        // Only the *first* content row may be a header: a second
+        // malformed time is an error, not another header.
+        assert!(matches!(
+            TraceSource::Csv("time,ci\nN/A,400\n3600,180".into()).load(),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        // A first row with a numeric intensity is data with a bad time
+        // (e.g. float timestamps), not a header — reject, don't drop.
+        assert!(matches!(
+            TraceSource::Csv("0.0,400\n1,100\n2,50".into()).load(),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            TraceSource::CsvFile("/nonexistent/trace.csv".into()).load(),
+            Err(TraceError::Io(_))
+        ));
+        assert!(TraceError::Empty.to_string().contains("no samples"));
+    }
+
+    #[test]
+    fn trace_csv_file_loads() {
+        let dir = std::env::temp_dir().join("cawo-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(&path, "0,300\n60,150\n120,50\n").unwrap();
+        let c = tiny_cluster();
+        let cfg = TraceConfig::new(TraceSource::CsvFile(path), DeadlineFactor::X15);
+        let p = cfg.build(&c, 100).unwrap();
+        assert_eq!(p.deadline(), 150);
+        assert_eq!(p.interval_count(), 3);
+        // Cleanest sample is the last: budgets increase over the day.
+        assert!(p.budget(0) < p.budget(1) && p.budget(1) < p.budget(2));
     }
 
     #[test]

@@ -3,15 +3,17 @@
 //! reproducibility artifacts.
 //!
 //! ```text
-//! experiments [--scale quick|medium|full] [--seed N]
+//! experiments [--scale quick|medium|full] [--seed N] [--engine dense|interval]
 //! ```
 
+use cawo_core::EngineKind;
 use cawo_sim::experiment::{run_grid, size_class, ExperimentConfig, GridScale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = GridScale::Quick;
     let mut seed = 42u64;
+    let mut engine = EngineKind::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,6 +32,15 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--engine" => {
+                i += 1;
+                engine = EngineKind::parse(args.get(i).map_or("", |s| s.as_str())).unwrap_or_else(
+                    || {
+                        eprintln!("expected --engine dense|interval");
+                        std::process::exit(2);
+                    },
+                );
+            }
             a => {
                 eprintln!("unexpected argument {a}");
                 std::process::exit(2);
@@ -38,8 +49,11 @@ fn main() {
         i += 1;
     }
 
-    eprintln!("running grid (scale {scale:?}, seed {seed}) ...");
-    let cfg = ExperimentConfig::new(scale, seed);
+    eprintln!("running grid (scale {scale:?}, seed {seed}, engine {engine}) ...");
+    let cfg = ExperimentConfig {
+        engine,
+        ..ExperimentConfig::new(scale, seed)
+    };
     let results = run_grid(&cfg);
     eprintln!("{} instances done", results.len());
 

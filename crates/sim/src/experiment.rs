@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use cawo_core::{carbon_cost, Cost, Instance, Variant};
+use cawo_core::{carbon_cost, Cost, EngineKind, Instance, RunParams, Variant};
 use cawo_graph::generator::{self, Family, PaperInstance};
 use cawo_heft::heft_schedule;
 use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario, Time};
@@ -109,15 +109,19 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Algorithms to run (defaults to all 17).
     pub variants: Vec<Variant>,
+    /// Incremental cost engine for the `-LS` phase (both produce
+    /// identical schedules; see `cawo_core::engine`).
+    pub engine: EngineKind,
 }
 
 impl ExperimentConfig {
-    /// All 17 variants at the given scale.
+    /// All 17 variants at the given scale, default (interval) engine.
     pub fn new(scale: GridScale, seed: u64) -> Self {
         ExperimentConfig {
             scale,
             seed,
             variants: Variant::ALL.to_vec(),
+            engine: EngineKind::default(),
         }
     }
 
@@ -278,6 +282,16 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
 }
 
 /// Runs all configured variants on one prepared instance.
+///
+/// The per-variant loop is itself a rayon `par_iter`: a single large
+/// instance (30k-task workflows at `GridScale::Full`) saturates all
+/// cores instead of serialising its 17 variants behind one thread —
+/// rayon's work stealing balances this inner level against the outer
+/// grid loop of [`run_grid`]. Caveat: under a real (parallel) rayon,
+/// per-variant wall-clock timings include memory-bandwidth and
+/// scheduling contention from concurrently running variants; treat
+/// `SpecResult::millis` as throughput-oriented, and serialise this loop
+/// when paper-grade per-variant timings (Fig. 8/12) are the goal.
 pub fn run_one(
     cfg: &ExperimentConfig,
     spec: &InstanceSpec,
@@ -287,16 +301,21 @@ pub fn run_one(
     let asap_makespan = inst.asap_makespan();
     let profile = ProfileConfig::new(spec.scenario, spec.deadline, profile_seed(cfg.seed, spec))
         .build(cluster, asap_makespan);
-    let mut cost = Vec::with_capacity(cfg.variants.len());
-    let mut millis = Vec::with_capacity(cfg.variants.len());
-    for &v in &cfg.variants {
-        let t0 = Instant::now();
-        let sched = v.run(inst, &profile);
-        let dt = t0.elapsed().as_secs_f64() * 1e3;
-        debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
-        cost.push(carbon_cost(inst, &sched, &profile));
-        millis.push(dt);
-    }
+    let params = RunParams {
+        engine: cfg.engine,
+        ..RunParams::default()
+    };
+    let (cost, millis): (Vec<Cost>, Vec<f64>) = cfg
+        .variants
+        .par_iter()
+        .map(|&v| {
+            let t0 = Instant::now();
+            let sched = v.run_with(inst, &profile, params);
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
+            (carbon_cost(inst, &sched, &profile), dt)
+        })
+        .unzip();
     SpecResult {
         spec: *spec,
         n_tasks: inst.original_task_count(),
@@ -366,9 +385,8 @@ mod tests {
     #[test]
     fn run_one_instance_end_to_end() {
         let cfg = ExperimentConfig {
-            scale: GridScale::Quick,
-            seed: 3,
             variants: vec![Variant::Asap, Variant::PressWRLs, Variant::SlackLs],
+            ..ExperimentConfig::new(GridScale::Quick, 3)
         };
         let spec = InstanceSpec {
             family: Family::Bacass,

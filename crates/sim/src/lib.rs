@@ -28,5 +28,6 @@ pub use experiment::{
     run_grid, ClusterKind, ExperimentConfig, GridScale, InstanceSpec, SpecResult,
 };
 pub use metrics::{
-    boxplot, competition_ranks, cost_ratios_vs, median, performance_profile, BoxplotStats,
+    boxplot, competition_ranks, cost_mismatches, cost_ratios_vs, median, performance_profile,
+    BoxplotStats,
 };

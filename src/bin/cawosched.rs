@@ -36,10 +36,16 @@ fn main() {
 const USAGE: &str = "usage:
   cawosched generate --family <atacseq|bacass|eager|methylseq> [--tasks N] [--seed N]
   cawosched schedule [--dot FILE|-] [--json FILE] [--variant NAME]
-                     [--scenario S1..S4] [--deadline 1|1.5|2|3]
-                     [--cluster tiny|small|large] [--seed N] [--gantt]
+                     [--scenario S1..S4] [--trace CSV] [--deadline 1|1.5|2|3]
+                     [--cluster tiny|small|large] [--engine dense|interval]
+                     [--seed N] [--gantt]
   cawosched evaluate [--dot FILE|-] [--json FILE] [--scenario S1..S4]
-                     [--deadline ...] [--cluster ...] [--seed N]";
+                     [--trace CSV] [--deadline ...] [--cluster ...]
+                     [--engine dense|interval] [--seed N]
+
+  --trace replaces the synthetic S1..S4 scenario with a measured
+  carbon-intensity trace (CSV rows `time,intensity`); --engine picks the
+  incremental cost backend for -LS variants (default: interval).";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -54,8 +60,11 @@ struct Options {
     json: Option<String>,
     variant: Variant,
     scenario: Scenario,
+    scenario_explicit: bool,
+    trace: Option<String>,
     deadline: DeadlineFactor,
     cluster: String,
+    engine: EngineKind,
     gantt: bool,
 }
 
@@ -69,8 +78,11 @@ impl Options {
             json: None,
             variant: Variant::PressWRLs,
             scenario: Scenario::SolarMorning,
+            scenario_explicit: false,
+            trace: None,
             deadline: DeadlineFactor::X15,
             cluster: "tiny".to_string(),
+            engine: EngineKind::default(),
             gantt: false,
         };
         let mut i = 0;
@@ -103,6 +115,7 @@ impl Options {
                         .into_iter()
                         .find(|s| s.label() == v)
                         .ok_or(format!("unknown scenario {v}"))?;
+                    o.scenario_explicit = true;
                 }
                 "--deadline" => {
                     let v = next(&mut i)?;
@@ -114,11 +127,19 @@ impl Options {
                         _ => return Err(format!("unknown deadline factor {v}")),
                     };
                 }
+                "--trace" => o.trace = Some(next(&mut i)?),
                 "--cluster" => o.cluster = next(&mut i)?,
+                "--engine" => {
+                    let v = next(&mut i)?;
+                    o.engine = EngineKind::parse(&v).ok_or(format!("unknown engine {v}"))?;
+                }
                 "--gantt" => o.gantt = true,
                 a => return Err(format!("unknown argument {a}")),
             }
             i += 1;
+        }
+        if o.trace.is_some() && o.scenario_explicit {
+            return Err("--trace replaces the synthetic scenario; drop --scenario".to_string());
         }
         Ok(o)
     }
@@ -167,24 +188,45 @@ fn prepare(o: &Options) -> (Instance, PowerProfile, Cost) {
     let cluster = o.build_cluster();
     let mapping = heft_schedule(&wf, &cluster);
     let inst = Instance::build(&wf, &cluster, &mapping);
-    let profile =
-        ProfileConfig::new(o.scenario, o.deadline, o.seed).build(&cluster, inst.asap_makespan());
+    let (profile, scenario_label) = match &o.trace {
+        Some(path) => {
+            let cfg = TraceConfig::new(TraceSource::CsvFile(path.into()), o.deadline);
+            let p = cfg
+                .build(&cluster, inst.asap_makespan())
+                .unwrap_or_else(|e| die(&format!("bad trace {path}: {e}")));
+            (p, "trace".to_string())
+        }
+        None => (
+            ProfileConfig::new(o.scenario, o.deadline, o.seed)
+                .build(&cluster, inst.asap_makespan()),
+            o.scenario.label().to_string(),
+        ),
+    };
     let baseline = carbon_cost(&inst, &inst.asap_schedule(), &profile);
     eprintln!(
-        "instance: {} tasks ({} Gc nodes), cluster {}, {} x{}, T={}",
+        "instance: {} tasks ({} Gc nodes), cluster {}, {} x{}, T={}, J={}, engine {}",
         inst.original_task_count(),
         inst.node_count(),
         cluster.name(),
-        o.scenario.label(),
+        scenario_label,
         o.deadline.as_f64(),
-        profile.deadline()
+        profile.deadline(),
+        profile.interval_count(),
+        o.engine,
     );
     (inst, profile, baseline)
 }
 
+fn run_params(o: &Options) -> RunParams {
+    RunParams {
+        engine: o.engine,
+        ..RunParams::default()
+    }
+}
+
 fn schedule_cmd(o: &Options) {
     let (inst, profile, baseline) = prepare(o);
-    let sched = o.variant.run(&inst, &profile);
+    let sched = o.variant.run_with(&inst, &profile, run_params(o));
     sched
         .validate(&inst, profile.deadline())
         .unwrap_or_else(|e| die(&format!("internal error — invalid schedule: {e}")));
@@ -214,7 +256,7 @@ fn evaluate_cmd(o: &Options) {
     println!("{:<14} {:>12} {:>8}", "variant", "carbon_cost", "ratio");
     println!("{:<14} {:>12} {:>8.3}", "ASAP", baseline, 1.0);
     for v in Variant::CAWOSCHED {
-        let sched = v.run(&inst, &profile);
+        let sched = v.run_with(&inst, &profile, run_params(o));
         let cost = carbon_cost(&inst, &sched, &profile);
         println!(
             "{:<14} {:>12} {:>8.3}",

@@ -6,12 +6,12 @@
 //!
 //! * [`graph`] — DAG substrate, workflow model, synthetic generator, DOT I/O.
 //! * [`platform`] — heterogeneous clusters, link processors, green-power
-//!   profiles (scenarios S1–S4).
+//!   profiles (scenarios S1–S4 plus CSV carbon-trace-driven profiles).
 //! * [`heft`] — the HEFT list scheduler that produces the *fixed mapping
 //!   and ordering* the carbon-aware scheduler starts from.
 //! * [`core`] — the paper's contribution: communication-enhanced DAG,
-//!   carbon-cost engine, ASAP baseline, the 16 CaWoSched greedy +
-//!   local-search variants.
+//!   pluggable carbon-cost engines (dense oracle / interval-sparse),
+//!   ASAP baseline, the 16 CaWoSched greedy + local-search variants.
 //! * [`exact`] — uniprocessor dynamic programs, the time-indexed ILP model
 //!   and an exact branch-and-bound solver for optimality references.
 //! * [`sim`] — the experiment harness reproducing every table and figure
@@ -50,9 +50,12 @@ pub use cawo_sim as sim;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use cawo_core::{carbon_cost, Cost, Instance, Schedule, Variant};
+    pub use cawo_core::{carbon_cost, Cost, EngineKind, Instance, RunParams, Schedule, Variant};
     pub use cawo_graph::generator::{generate, Family, GeneratorConfig};
     pub use cawo_graph::{Workflow, WorkflowBuilder};
     pub use cawo_heft::{heft_schedule, Mapping};
-    pub use cawo_platform::{Cluster, DeadlineFactor, PowerProfile, ProfileConfig, Scenario, Time};
+    pub use cawo_platform::{
+        Cluster, DeadlineFactor, PowerProfile, ProfileConfig, Scenario, Time, TraceConfig,
+        TraceSource,
+    };
 }

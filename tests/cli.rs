@@ -119,10 +119,113 @@ fn schedule_reads_dot_from_stdin() {
 }
 
 #[test]
+fn schedule_accepts_both_cost_engines() {
+    // The engine choice is a performance knob, not a semantic one: both
+    // backends must succeed and report the same carbon cost.
+    let mut costs = Vec::new();
+    for engine in ["dense", "interval"] {
+        let out = bin()
+            .args([
+                "schedule",
+                "--family",
+                "eager",
+                "--tasks",
+                "30",
+                "--seed",
+                "5",
+                "--variant",
+                "pressWR-LS",
+                "--deadline",
+                "2",
+                "--engine",
+                engine,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--engine {engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains(&format!("engine {engine}")), "{stderr}");
+        let cost_line = stderr
+            .lines()
+            .find(|l| l.contains("carbon cost"))
+            .unwrap_or_else(|| panic!("no cost line in:\n{stderr}"))
+            .to_string();
+        costs.push(cost_line);
+    }
+    assert_eq!(
+        costs[0], costs[1],
+        "dense and interval engines reported different costs"
+    );
+}
+
+#[test]
+fn variant_names_parse_case_insensitively() {
+    let out = bin()
+        .args([
+            "schedule",
+            "--tasks",
+            "20",
+            "--variant",
+            "SLACKW-ls",
+            "--deadline",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("slackW-LS"), "{stderr}");
+}
+
+#[test]
+fn schedule_reads_carbon_trace_csv() {
+    let dir = std::env::temp_dir().join("cawosched-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.csv");
+    std::fs::write(
+        &path,
+        "# hourly carbon intensity\ntime,gco2_per_kwh\n0,420\n3600,180\n7200,90\n10800,300\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "schedule",
+            "--tasks",
+            "25",
+            "--deadline",
+            "2",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // The trace replaces the synthetic scenario and carries 4 intervals.
+    assert!(stderr.contains("trace"), "{stderr}");
+    assert!(stderr.contains("J=4"), "{stderr}");
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     for args in [
         vec!["schedule", "--variant", "nope"],
         vec!["schedule", "--scenario", "S9"],
+        vec!["schedule", "--engine", "nope"],
+        vec!["schedule", "--trace", "/nonexistent/trace.csv"],
+        vec!["schedule", "--scenario", "S1", "--trace", "x.csv"],
         vec!["frobnicate"],
         vec![],
     ] {

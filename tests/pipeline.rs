@@ -124,7 +124,7 @@ fn deterministic_end_to_end() {
 
 #[test]
 fn cost_engines_agree_on_heuristic_schedules() {
-    use cawosched::core::{carbon_cost_naive, PowerGrid};
+    use cawosched::core::{carbon_cost_naive, CostEngine, DenseGrid, IntervalEngine};
     let (inst, profile, _) = setup(
         Family::Eager,
         60,
@@ -136,9 +136,11 @@ fn cost_engines_agree_on_heuristic_schedules() {
         let sched = v.run(&inst, &profile);
         let sweep = carbon_cost(&inst, &sched, &profile);
         let naive = carbon_cost_naive(&inst, &sched, &profile);
-        let grid = PowerGrid::new(&inst, &sched, &profile).total_cost();
+        let dense = DenseGrid::build(&inst, &sched, &profile).total_cost();
+        let sparse = IntervalEngine::build(&inst, &sched, &profile).total_cost();
         assert_eq!(sweep, naive, "{v}");
-        assert_eq!(sweep, grid, "{v}");
+        assert_eq!(sweep, dense, "{v}");
+        assert_eq!(sweep, sparse, "{v}");
     }
 }
 
@@ -301,16 +303,19 @@ fn run_params_variations_all_valid() {
             mu: 0,
             block_k: 1,
             refine_cap: 8,
+            ..RunParams::default()
         },
         RunParams {
             mu: 50,
             block_k: 4,
             refine_cap: usize::MAX,
+            ..RunParams::default()
         },
         RunParams {
             mu: 10,
             block_k: 3,
             refine_cap: 4096,
+            engine: cawosched::core::EngineKind::Dense,
         },
     ] {
         for v in [Variant::SlackWRLs, Variant::PressR, Variant::PressWRLs] {
