@@ -1,0 +1,255 @@
+//! Measures the exact solvers across horizon lengths — before vs after
+//! incremental costing — and emits a machine-readable
+//! `BENCH_exact.json` (written to the current directory, mirrored on
+//! stdout).
+//!
+//! ```text
+//! cargo run --release -p cawo_bench --bin bench_exact
+//! ```
+//!
+//! "Before" is the per-time-unit [`DenseGrid`] backend (every candidate
+//! placement pays `O(task length)`, i.e. `O(horizon)` on the scaling
+//! fixture); "after" are the incremental [`IntervalEngine`] /
+//! [`FenwickEngine`] backends whose candidate pricing scales with the
+//! *structure* inside the touched window. The branch-and-bound explores
+//! an identical node sequence on every backend (the deltas are exact
+//! everywhere), so the wall-clock ratio isolates the costing layer. The
+//! headline number is `bnb_speedup` (dense / interval) at the longest
+//! horizon.
+
+use std::time::Instant;
+
+use cawo_bench::fixtures::{exact_chain_fixture, misaligned_chain_schedule, EXACT_HORIZONS};
+use cawo_core::{CostEngine, DenseGrid, FenwickEngine, Instance, IntervalEngine, Schedule};
+use cawo_exact::{
+    dp_polynomial, dp_pseudo_polynomial, solve_exact_on, to_e_schedule_on, BnbConfig, Budget,
+};
+use cawo_platform::{PowerProfile, Time};
+
+/// Search-node budget for the branch-and-bound runs: every backend
+/// explores exactly this many nodes, so timings compare per-node cost.
+const BNB_NODES: u64 = 60;
+
+/// Chain length of the scaling fixture.
+const BNB_TASKS: usize = 4;
+
+/// Chain length of the E-schedule / DP fixture (more, shorter tasks —
+/// the transformation's work grows with the block count).
+const CHAIN_TASKS: usize = 24;
+
+/// Profile intervals of the branch-and-bound fixture (paper-style).
+const BNB_INTERVALS: usize = 48;
+
+/// Profile intervals of the E-schedule fixture: few, long intervals so
+/// Lemma 4.2's block shifts travel `O(horizon)` distances — the regime
+/// where per-time-unit costing degrades.
+const CHAIN_INTERVALS: usize = 6;
+
+struct Row {
+    solver: &'static str,
+    engine: &'static str,
+    horizon: Time,
+    seconds: f64,
+    nodes: u64,
+    cost: u64,
+    status: &'static str,
+}
+
+/// Median seconds of `samples` runs of `f` (each returning (nodes,
+/// cost, status) which must be identical across runs).
+fn timed<F: FnMut() -> (u64, u64, &'static str)>(
+    samples: usize,
+    mut f: F,
+) -> (f64, u64, u64, &'static str) {
+    let mut times = Vec::with_capacity(samples);
+    let mut out = (0, 0, "");
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        out = f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], out.0, out.1, out.2)
+}
+
+fn bnb_row<E: CostEngine>(inst: &Instance, profile: &PowerProfile, horizon: Time) -> Row {
+    let (seconds, nodes, cost, status) = timed(3, || {
+        let res = solve_exact_on::<E>(
+            inst,
+            profile,
+            BnbConfig {
+                budget: Budget::nodes(BNB_NODES),
+                incumbent: None,
+            },
+        );
+        (
+            res.nodes,
+            res.cost,
+            if res.optimal { "optimal" } else { "timeout" },
+        )
+    });
+    Row {
+        solver: "bnb",
+        engine: E::NAME,
+        horizon,
+        seconds,
+        nodes,
+        cost,
+        status,
+    }
+}
+
+fn eschedule_row<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    seed: &Schedule,
+    horizon: Time,
+) -> Row {
+    let (seconds, _, cost, _) = timed(5, || {
+        let (_, cost) = to_e_schedule_on::<E>(inst, profile, seed);
+        (0, cost, "feasible")
+    });
+    Row {
+        solver: "eschedule",
+        engine: E::NAME,
+        horizon,
+        seconds,
+        nodes: 0,
+        cost,
+        status: "feasible",
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    for horizon in EXACT_HORIZONS {
+        // Branch-and-bound: identical node-limited search per backend.
+        let (inst, profile) = exact_chain_fixture(horizon, BNB_TASKS, BNB_INTERVALS);
+        rows.push(bnb_row::<DenseGrid>(&inst, &profile, horizon));
+        rows.push(bnb_row::<IntervalEngine>(&inst, &profile, horizon));
+        rows.push(bnb_row::<FenwickEngine>(&inst, &profile, horizon));
+        {
+            let r = &rows[rows.len() - 3..];
+            assert!(
+                r[0].cost == r[1].cost && r[0].cost == r[2].cost,
+                "backends disagree at horizon {horizon}"
+            );
+            assert!(
+                r[0].nodes == r[1].nodes && r[0].nodes == r[2].nodes,
+                "backends explored different trees at horizon {horizon}"
+            );
+        }
+
+        // E-schedule normalisation of a misaligned schedule.
+        let (chain_inst, chain_profile) =
+            exact_chain_fixture(horizon, CHAIN_TASKS, CHAIN_INTERVALS);
+        let seed = misaligned_chain_schedule(&chain_inst, horizon);
+        rows.push(eschedule_row::<DenseGrid>(
+            &chain_inst,
+            &chain_profile,
+            &seed,
+            horizon,
+        ));
+        rows.push(eschedule_row::<IntervalEngine>(
+            &chain_inst,
+            &chain_profile,
+            &seed,
+            horizon,
+        ));
+        rows.push(eschedule_row::<FenwickEngine>(
+            &chain_inst,
+            &chain_profile,
+            &seed,
+            horizon,
+        ));
+
+        // The two DPs (engine column names their costing structure:
+        // both query PrefixCost oracles, the pseudo variant over every
+        // time unit, the polynomial one over E-schedule candidates).
+        let (dp_sec, _, dp_cost, _) = timed(3, || {
+            let res = dp_pseudo_polynomial(&chain_inst, &chain_profile);
+            (0, res.cost, "optimal")
+        });
+        rows.push(Row {
+            solver: "dp-pseudo",
+            engine: "prefix",
+            horizon,
+            seconds: dp_sec,
+            nodes: 0,
+            cost: dp_cost,
+            status: "optimal",
+        });
+        let (poly_sec, _, poly_cost, _) = timed(3, || {
+            let res = dp_polynomial(&chain_inst, &chain_profile);
+            (0, res.cost, "optimal")
+        });
+        assert_eq!(dp_cost, poly_cost, "DPs disagree at horizon {horizon}");
+        rows.push(Row {
+            solver: "dp",
+            engine: "prefix",
+            horizon,
+            seconds: poly_sec,
+            nodes: 0,
+            cost: poly_cost,
+            status: "optimal",
+        });
+    }
+
+    let speedup = |solver: &str, h: Time| -> f64 {
+        let of = |engine: &str| {
+            rows.iter()
+                .find(|r| r.solver == solver && r.engine == engine && r.horizon == h)
+                .expect("measured")
+                .seconds
+        };
+        of(DenseGrid::NAME) / of(IntervalEngine::NAME).max(1e-12)
+    };
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"exact_solvers\",\n  \"bnb_tasks\": {BNB_TASKS},\n  \
+         \"bnb_nodes\": {BNB_NODES},\n  \"chain_tasks\": {CHAIN_TASKS},\n"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"solver\": \"{}\", \"engine\": \"{}\", \"horizon\": {}, \
+             \"seconds\": {:.3e}, \"nodes\": {}, \"cost\": {}, \"status\": \"{}\"}}{}\n",
+            r.solver,
+            r.engine,
+            r.horizon,
+            r.seconds,
+            r.nodes,
+            r.cost,
+            r.status,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    for (key, solver) in [("bnb_speedup", "bnb"), ("eschedule_speedup", "eschedule")] {
+        json.push_str(&format!(
+            "  \"{key}\": {{{}}},\n",
+            EXACT_HORIZONS
+                .iter()
+                .map(|&h| format!("\"{}\": {:.1}", h, speedup(solver, h)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    json.push_str(
+        "  \"speedup_note\": \"dense seconds / interval seconds per horizon; bnb candidate \
+         pricing is the headline (grows ~linearly with the horizon), while the E-schedule \
+         pass performs only O(n + J) narrow shifts, so its backends stay within noise of \
+         each other at these sizes\"\n}\n",
+    );
+
+    std::fs::write("BENCH_exact.json", &json).expect("write BENCH_exact.json");
+    print!("{json}");
+    let top = EXACT_HORIZONS[EXACT_HORIZONS.len() - 1];
+    eprintln!(
+        "bnb incremental-costing speedup at {top}-unit horizon: {:.1}x; \
+         eschedule: {:.1}x (wrote BENCH_exact.json)",
+        speedup("bnb", top),
+        speedup("eschedule", top),
+    );
+}

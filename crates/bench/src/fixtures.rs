@@ -77,6 +77,70 @@ pub fn horizon_fixture(horizon: Time, n_tasks: usize) -> (Instance, Schedule, Po
     (inst, sched, PowerProfile::from_parts(boundaries, budgets))
 }
 
+/// Horizon grid shared by the exact-solver benches (`bench_exact`).
+/// Kept below the cost-engine horizons: the *dense* baseline that the
+/// comparison quantifies re-prices `O(horizon)` per candidate, and the
+/// branch-and-bound evaluates `O(horizon)` candidates per search node.
+pub const EXACT_HORIZONS: [Time; 3] = [500, 2_000, 8_000];
+
+/// A uniprocessor chain whose task lengths scale with the horizon:
+/// `n_tasks` chained tasks of length `T / (2·n_tasks)` (total work half
+/// the horizon) on one unit, under an `intervals`-interval profile over
+/// `[0, T)`. This is the exact solvers' scaling regime: long tasks,
+/// long horizons, constant structure — fewer intervals mean longer
+/// Lemma 4.2 block shifts.
+pub fn exact_chain_fixture(
+    horizon: Time,
+    n_tasks: usize,
+    intervals: usize,
+) -> (Instance, PowerProfile) {
+    assert!(horizon >= 4 * n_tasks as Time, "horizon too short");
+    let mut b = DagBuilder::new(n_tasks);
+    for i in 1..n_tasks {
+        b.add_edge(i as u32 - 1, i as u32);
+    }
+    let len = horizon / (2 * n_tasks as Time);
+    let inst = Instance::from_raw(
+        b.build().unwrap(),
+        vec![len; n_tasks],
+        vec![0; n_tasks],
+        vec![UnitInfo {
+            p_idle: 1,
+            p_work: 9,
+            is_link: false,
+        }],
+        0,
+    );
+    let j = intervals.min(horizon as usize);
+    let mut boundaries = vec![0 as Time];
+    let mut budgets = Vec::with_capacity(j);
+    for k in 0..j {
+        boundaries.push((horizon as u128 * (k as u128 + 1) / j as u128) as Time);
+        budgets.push(((k * 13) % 29) as u64);
+    }
+    (inst, PowerProfile::from_parts(boundaries, budgets))
+}
+
+/// A deliberately misaligned (but valid) schedule for the chain of
+/// [`exact_chain_fixture`]: every task floats one time unit off the
+/// block grid, giving the E-schedule transformation real work.
+pub fn misaligned_chain_schedule(inst: &Instance, horizon: Time) -> Schedule {
+    let n = inst.node_count();
+    let len = inst.exec(0);
+    let gap = (horizon - n as Time * len) / (n as Time + 1);
+    let starts: Vec<Time> = (0..n as u32)
+        .scan(0, |t, v| {
+            *t += gap.max(1);
+            let s = *t;
+            *t += inst.exec(v);
+            Some(s)
+        })
+        .collect();
+    let sched = Schedule::new(starts);
+    assert!(sched.validate(inst, horizon).is_ok());
+    sched
+}
+
 /// Workflow sizes for the large-workflow bench; override the default
 /// with `CAWO_BENCH_SIZES="8000,20000"` to reproduce the paper-scale
 /// Fig. 12 measurement.

@@ -6,7 +6,7 @@ use crate::cost::Cost;
 use crate::enhanced::Instance;
 use crate::schedule::Schedule;
 
-use super::{difference_runs, CostEngine};
+use super::CostEngine;
 
 /// Per-time-unit working-power grid with O(1) single-unit updates.
 ///
@@ -85,42 +85,31 @@ impl CostEngine for DenseGrid {
         c as Cost
     }
 
-    fn shift_delta(&self, start: Time, len: Time, w: i64, new_start: Time) -> i64 {
-        if start == new_start || w == 0 {
+    fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {
+        if len == 0 || delta == 0 {
             return 0;
         }
-        debug_assert!(new_start + len <= self.horizon);
-        let (s0, e0) = (start, start + len);
-        let (s1, e1) = (new_start, new_start + len);
-        let mut delta = 0i64;
-        // Time units vacated by the move: in [s0, e0) but not [s1, e1).
-        for (a, b) in difference_runs(s0, e0, s1, e1) {
-            for t in a..b {
-                delta += self.unit_cost_with(t as usize, -w) - self.unit_cost(t as usize);
-            }
+        assert!(
+            start + len <= self.horizon,
+            "placement exceeds profile horizon"
+        );
+        let mut d = 0i64;
+        for t in start..start + len {
+            d += self.unit_cost_with(t as usize, delta) - self.unit_cost(t as usize);
         }
-        // Time units newly occupied: in [s1, e1) but not [s0, e0).
-        for (a, b) in difference_runs(s1, e1, s0, e0) {
-            for t in a..b {
-                delta += self.unit_cost_with(t as usize, w) - self.unit_cost(t as usize);
-            }
-        }
-        delta
+        d
     }
 
-    fn apply_shift(&mut self, start: Time, len: Time, w: i64, new_start: Time) {
-        if start == new_start || w == 0 {
+    fn apply_place(&mut self, start: Time, len: Time, delta: i64) {
+        if len == 0 || delta == 0 {
             return;
         }
-        for (a, b) in difference_runs(start, start + len, new_start, new_start + len) {
-            for t in a..b {
-                self.work[t as usize] -= w;
-            }
-        }
-        for (a, b) in difference_runs(new_start, new_start + len, start, start + len) {
-            for t in a..b {
-                self.work[t as usize] += w;
-            }
+        assert!(
+            start + len <= self.horizon,
+            "placement exceeds profile horizon"
+        );
+        for slot in &mut self.work[start as usize..(start + len) as usize] {
+            *slot += delta;
         }
     }
 

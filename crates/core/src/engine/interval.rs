@@ -10,7 +10,7 @@ use crate::cost::Cost;
 use crate::enhanced::Instance;
 use crate::schedule::Schedule;
 
-use super::{difference_runs, CostEngine};
+use super::CostEngine;
 
 /// Carbon-cost engine whose state is keyed by breakpoints, not time
 /// units.
@@ -198,46 +198,26 @@ impl CostEngine for IntervalEngine {
         Cost::try_from(cost).expect("carbon cost fits in u64")
     }
 
-    fn shift_delta(&self, start: Time, len: Time, w: i64, new_start: Time) -> i64 {
-        if start == new_start || w == 0 || len == 0 {
+    fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {
+        if len == 0 || delta == 0 {
             return 0;
         }
-        // Hard assert (not debug): a window past the horizon would make
-        // the piece sweep in `range_cost_delta` spin forever at the last
-        // boundary. DenseGrid fails the same misuse with an
-        // out-of-bounds panic; fail loudly here too.
         assert!(
-            new_start + len <= self.horizon,
-            "shift target exceeds profile horizon"
+            start + len <= self.horizon,
+            "placement exceeds profile horizon"
         );
-        let (s0, e0) = (start, start + len);
-        let (s1, e1) = (new_start, new_start + len);
-        let mut delta = 0i64;
-        // Vacated by the move: in [s0, e0) but not [s1, e1).
-        for (a, b) in difference_runs(s0, e0, s1, e1) {
-            delta += self.range_cost_delta(a, b, -w);
-        }
-        // Newly occupied: in [s1, e1) but not [s0, e0).
-        for (a, b) in difference_runs(s1, e1, s0, e0) {
-            delta += self.range_cost_delta(a, b, w);
-        }
-        delta
+        self.range_cost_delta(start, start + len, delta)
     }
 
-    fn apply_shift(&mut self, start: Time, len: Time, w: i64, new_start: Time) {
-        if start == new_start || w == 0 || len == 0 {
+    fn apply_place(&mut self, start: Time, len: Time, delta: i64) {
+        if len == 0 || delta == 0 {
             return;
         }
         assert!(
-            new_start + len <= self.horizon,
-            "shift target exceeds profile horizon"
+            start + len <= self.horizon,
+            "placement exceeds profile horizon"
         );
-        for (a, b) in difference_runs(start, start + len, new_start, new_start + len) {
-            self.add_range(a, b, -w);
-        }
-        for (a, b) in difference_runs(new_start, new_start + len, start, start + len) {
-            self.add_range(a, b, w);
-        }
+        self.add_range(start, start + len, delta);
     }
 
     fn horizon(&self) -> Time {

@@ -28,9 +28,11 @@ use crate::enhanced::Instance;
 use crate::schedule::Schedule;
 
 mod dense;
+mod fenwick;
 mod interval;
 
 pub use dense::DenseGrid;
+pub use fenwick::{Fenwick, FenwickEngine, PrefixCost};
 pub use interval::IntervalEngine;
 
 /// Incremental evaluator of the carbon cost of one schedule.
@@ -40,13 +42,24 @@ pub use interval::IntervalEngine;
 /// shared by all implementations:
 ///
 /// * the schedule passed to [`CostEngine::build`] — and every state
-///   reachable through [`CostEngine::apply_shift`] — must finish within
-///   the profile horizon,
+///   reachable through [`CostEngine::apply_shift`] /
+///   [`CostEngine::apply_place`] — must finish within the profile
+///   horizon,
 /// * [`CostEngine::total_cost`] equals [`crate::carbon_cost`] of the
 ///   tracked schedule,
+/// * [`CostEngine::place_delta`] returns the exact cost change of
+///   adding working power over a window (negative `delta` removes
+///   power) without mutating state,
 /// * [`CostEngine::shift_delta`] returns the exact cost change of
 ///   moving one task (negative = improvement) without mutating state,
-/// * [`CostEngine::apply_shift`] commits a previously evaluated move.
+/// * [`CostEngine::apply_place`] / [`CostEngine::apply_shift`] commit a
+///   previously evaluated change.
+///
+/// Only the *placement* primitives are backend-specific; the shift
+/// operations have default implementations over the symmetric
+/// difference of the old and new execution windows. Exact solvers
+/// (branch-and-bound placement, E-schedule block shifts) drive the
+/// placement API directly; the local search uses the shift API.
 pub trait CostEngine {
     /// Engine label used by CLIs, reports and benches.
     const NAME: &'static str;
@@ -59,16 +72,70 @@ pub trait CostEngine {
     /// Total carbon cost of the tracked schedule.
     fn total_cost(&self) -> Cost;
 
-    /// Cost change if a task of working power `w` and length `len`
-    /// currently executing in `[start, start + len)` moved to
-    /// `[new_start, new_start + len)`. Negative = improvement.
-    fn shift_delta(&self, start: Time, len: Time, w: i64, new_start: Time) -> i64;
+    /// Cost change of adding `delta` working power over
+    /// `[start, start + len)`. `delta` may be negative (a task being
+    /// removed or vacating a window). Does not mutate state.
+    fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64;
 
-    /// Applies the move evaluated by [`CostEngine::shift_delta`].
-    fn apply_shift(&mut self, start: Time, len: Time, w: i64, new_start: Time);
+    /// Applies the change evaluated by [`CostEngine::place_delta`].
+    fn apply_place(&mut self, start: Time, len: Time, delta: i64);
 
     /// Horizon length `T` the engine covers.
     fn horizon(&self) -> Time;
+
+    /// Cost change if a task of working power `w` and length `len`
+    /// currently executing in `[start, start + len)` moved to
+    /// `[new_start, new_start + len)`. Negative = improvement.
+    fn shift_delta(&self, start: Time, len: Time, w: i64, new_start: Time) -> i64 {
+        if start == new_start || w == 0 || len == 0 {
+            return 0;
+        }
+        // Hard assert (not debug): a window past the horizon has no
+        // defined budget and every backend would misbehave differently;
+        // fail loudly and uniformly instead.
+        assert!(
+            new_start + len <= self.horizon(),
+            "shift target exceeds profile horizon"
+        );
+        let (s0, e0) = (start, start + len);
+        let (s1, e1) = (new_start, new_start + len);
+        let mut delta = 0i64;
+        // Vacated by the move: in [s0, e0) but not [s1, e1); then the
+        // newly occupied part. The runs are disjoint, so the two
+        // placement deltas are independent and sum exactly.
+        for (a, b) in difference_runs(s0, e0, s1, e1) {
+            if a < b {
+                delta += self.place_delta(a, b - a, -w);
+            }
+        }
+        for (a, b) in difference_runs(s1, e1, s0, e0) {
+            if a < b {
+                delta += self.place_delta(a, b - a, w);
+            }
+        }
+        delta
+    }
+
+    /// Applies the move evaluated by [`CostEngine::shift_delta`].
+    fn apply_shift(&mut self, start: Time, len: Time, w: i64, new_start: Time) {
+        if start == new_start || w == 0 || len == 0 {
+            return;
+        }
+        assert!(
+            new_start + len <= self.horizon(),
+            "shift target exceeds profile horizon"
+        );
+        for (a, b) in difference_runs(start, start + len, new_start, new_start + len) {
+            if a < b {
+                self.apply_place(a, b - a, -w);
+            }
+        }
+        for (a, b) in difference_runs(new_start, new_start + len, start, start + len) {
+            if a < b {
+                self.apply_place(a, b - a, w);
+            }
+        }
+    }
 }
 
 /// Selects a [`CostEngine`] implementation at run time (CLI flag,
@@ -80,17 +147,21 @@ pub enum EngineKind {
     /// Interval-sparse [`IntervalEngine`] — the production default.
     #[default]
     Interval,
+    /// Difference-array [`FenwickEngine`] — prefix-sum levels in a
+    /// binary indexed tree; the exact solvers' alternative backend.
+    Fenwick,
 }
 
 impl EngineKind {
-    /// Both engines, oracle first.
-    pub const ALL: [EngineKind; 2] = [EngineKind::Dense, EngineKind::Interval];
+    /// All engines, oracle first.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Dense, EngineKind::Interval, EngineKind::Fenwick];
 
-    /// Stable label (`"dense"` / `"interval"`).
+    /// Stable label (`"dense"` / `"interval"` / `"fenwick"`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Dense => DenseGrid::NAME,
             EngineKind::Interval => IntervalEngine::NAME,
+            EngineKind::Fenwick => FenwickEngine::NAME,
         }
     }
 
@@ -154,5 +225,6 @@ mod tests {
         assert_eq!(EngineKind::default(), EngineKind::Interval);
         assert_eq!(EngineKind::Dense.to_string(), "dense");
         assert_eq!(EngineKind::Interval.to_string(), "interval");
+        assert_eq!(EngineKind::Fenwick.to_string(), "fenwick");
     }
 }

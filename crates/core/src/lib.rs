@@ -38,7 +38,9 @@ pub mod variant;
 
 pub use bounds::Bounds;
 pub use cost::{carbon_cost, carbon_cost_naive, energy_report, Cost, EnergyReport};
-pub use engine::{CostEngine, DenseGrid, EngineKind, IntervalEngine};
+pub use engine::{
+    CostEngine, DenseGrid, EngineKind, Fenwick, FenwickEngine, IntervalEngine, PrefixCost,
+};
 pub use enhanced::{Instance, NodeKind, UnitId};
 pub use greedy::{greedy_schedule, greedy_schedule_with_engine, GreedyConfig};
 pub use local_search::{

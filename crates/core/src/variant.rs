@@ -6,7 +6,7 @@
 
 use cawo_platform::{PowerProfile, Time};
 
-use crate::engine::{CostEngine, DenseGrid, EngineKind, IntervalEngine};
+use crate::engine::{CostEngine, DenseGrid, EngineKind, FenwickEngine, IntervalEngine};
 use crate::enhanced::Instance;
 use crate::greedy::{greedy_schedule, greedy_schedule_with_engine, GreedyConfig};
 use crate::local_search::{local_search_on_engine, LsPolicy};
@@ -225,6 +225,7 @@ impl Variant {
                 match params.engine {
                     EngineKind::Dense => run_ls::<DenseGrid>(inst, profile, cfg, params.mu),
                     EngineKind::Interval => run_ls::<IntervalEngine>(inst, profile, cfg, params.mu),
+                    EngineKind::Fenwick => run_ls::<FenwickEngine>(inst, profile, cfg, params.mu),
                 }
             }
         }

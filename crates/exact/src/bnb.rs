@@ -10,28 +10,43 @@
 //! the cost of the placed prefix is an admissible lower bound on every
 //! completion, and branches with `lb >= best` are pruned.
 //!
-//! The solver can be seeded with a heuristic schedule as the incumbent;
-//! candidate starts are explored in increasing order of their immediate
-//! cost contribution to reach good incumbents quickly.
+//! Candidate placements are priced through the incremental
+//! [`CostEngine`] placement API (`place_delta` / `apply_place`), never
+//! by re-evaluating the whole schedule: with the interval-sparse
+//! backend one candidate costs `O(log N + breakpoints touched)`
+//! regardless of how long the task or the horizon is. The solver can be
+//! seeded with a heuristic schedule as the incumbent; candidate starts
+//! are explored in increasing order of their immediate cost
+//! contribution to reach good incumbents quickly.
 
-use cawo_core::{Bounds, Cost, Instance, Schedule};
+use std::time::Instant;
+
+use cawo_core::{
+    Bounds, Cost, CostEngine, DenseGrid, EngineKind, FenwickEngine, Instance, IntervalEngine,
+    Schedule,
+};
 use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
 
+use crate::solver::{
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+};
+
 /// Solver configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BnbConfig {
-    /// Abort after exploring this many search nodes (the incumbent is
-    /// still returned, flagged non-optimal).
-    pub node_limit: u64,
+    /// Node/time budget (the incumbent is still returned when the
+    /// budget runs out, flagged non-optimal).
+    pub budget: Budget,
     /// Warm-start incumbent (e.g. the best heuristic schedule).
     pub incumbent: Option<Schedule>,
 }
 
-impl Default for BnbConfig {
-    fn default() -> Self {
+impl BnbConfig {
+    /// Budget of `node_limit` search nodes, no time limit, no incumbent.
+    pub fn with_node_limit(node_limit: u64) -> Self {
         BnbConfig {
-            node_limit: 50_000_000,
+            budget: Budget::nodes(node_limit),
             incumbent: None,
         }
     }
@@ -50,14 +65,12 @@ pub struct BnbResult {
     pub nodes: u64,
 }
 
-struct SearchState<'a> {
+struct SearchState<'a, E: CostEngine> {
     inst: &'a Instance,
     /// Static LST per node (deadline-based).
     lst: Vec<Time>,
-    /// Per-time-unit working power of placed tasks.
-    work: Vec<i64>,
-    /// Per-time-unit headroom `G(t) - Σ P_idle` (can be negative).
-    headroom: Vec<i64>,
+    /// Incremental cost engine tracking the *placed* tasks only.
+    engine: E,
     /// Cost of the placed prefix (admissible lower bound).
     prefix_cost: i64,
     /// Start times chosen so far (indexed by node).
@@ -69,36 +82,34 @@ struct SearchState<'a> {
     best_start: Vec<Time>,
     nodes: u64,
     node_limit: u64,
+    deadline: Option<Instant>,
     exhausted: bool,
 }
 
-impl<'a> SearchState<'a> {
-    /// Cost delta of placing power `w` over `[s, s+len)`.
-    fn place_delta(&self, s: Time, len: Time, w: i64) -> i64 {
-        let mut d = 0;
-        for t in s..s + len {
-            let before = (self.work[t as usize] - self.headroom[t as usize]).max(0);
-            let after = (self.work[t as usize] + w - self.headroom[t as usize]).max(0);
-            d += after - before;
+impl<'a, E: CostEngine> SearchState<'a, E> {
+    fn budget_exceeded(&mut self) -> bool {
+        if self.nodes >= self.node_limit {
+            return true;
         }
-        d
-    }
-
-    fn apply(&mut self, s: Time, len: Time, w: i64) {
-        for t in s..s + len {
-            self.work[t as usize] += w;
+        // Polled every node: a single node enumerates up to O(T)
+        // candidate placements (milliseconds at long horizons), so any
+        // coarser polling would let the wall-clock cap overshoot by
+        // orders of magnitude; against that, one clock read per node is
+        // noise. Runs without a time limit never touch the clock.
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                // Promote to a node-limit exhaustion so every later
+                // check short-circuits without reading the clock.
+                self.node_limit = 0;
+                return true;
+            }
         }
-    }
-
-    fn unapply(&mut self, s: Time, len: Time, w: i64) {
-        for t in s..s + len {
-            self.work[t as usize] -= w;
-        }
+        false
     }
 
     fn dfs(&mut self, order: &[NodeId], depth: usize) {
         self.nodes += 1;
-        if self.nodes >= self.node_limit {
+        if self.budget_exceeded() {
             self.exhausted = false;
             return;
         }
@@ -130,7 +141,7 @@ impl<'a> SearchState<'a> {
         // Candidates ordered by immediate cost contribution (cheapest
         // first), ties by earliest start.
         let mut cands: Vec<(i64, Time)> = (est..=lst)
-            .map(|s| (self.place_delta(s, len, w), s))
+            .map(|s| (self.engine.place_delta(s, len, w), s))
             .collect();
         cands.sort_unstable();
         for (delta, s) in cands {
@@ -139,14 +150,14 @@ impl<'a> SearchState<'a> {
                 // only match or exceed it — stop this branch.
                 break;
             }
-            self.apply(s, len, w);
+            self.engine.apply_place(s, len, w);
             self.prefix_cost += delta;
             self.start[v as usize] = s;
             self.finish[v as usize] = s + len;
             self.dfs(order, depth + 1);
             self.finish[v as usize] = Time::MAX;
             self.prefix_cost -= delta;
-            self.unapply(s, len, w);
+            self.engine.apply_place(s, len, -w);
             if self.nodes >= self.node_limit {
                 return;
             }
@@ -154,48 +165,61 @@ impl<'a> SearchState<'a> {
     }
 }
 
-/// Solves an instance to optimality (subject to `config.node_limit`).
+/// Solves an instance to optimality (subject to `config.budget`) on the
+/// default (interval-sparse) cost engine.
 ///
 /// Panics if the deadline is below the ASAP makespan.
 pub fn solve_exact(inst: &Instance, profile: &PowerProfile, config: BnbConfig) -> BnbResult {
+    solve_exact_on::<IntervalEngine>(inst, profile, config)
+}
+
+/// Solves an instance to optimality on an explicit cost-engine backend.
+/// All backends price placements exactly, so they return the same
+/// optimum; they differ only in speed.
+///
+/// Panics if the deadline is below the ASAP makespan.
+pub fn solve_exact_on<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    config: BnbConfig,
+) -> BnbResult {
     let horizon = profile.deadline();
     let bounds = Bounds::new(inst, horizon);
     assert!(bounds.is_feasible(inst), "deadline below ASAP makespan");
 
-    let idle = inst.total_idle_power() as i64;
-    let mut headroom = vec![0i64; horizon as usize];
-    for j in 0..profile.interval_count() {
-        let (b, e) = profile.interval_span(j);
-        let d = profile.budget(j) as i64 - idle;
-        for slot in &mut headroom[b as usize..e as usize] {
-            *slot = d;
-        }
-    }
-    // Base cost: idle overflow (constant, not part of branching).
-    let base_cost: i64 = headroom.iter().map(|&d| (-d).max(0)).sum();
-
     let n = inst.node_count();
     let lst: Vec<Time> = (0..n as NodeId).map(|v| bounds.lst(v)).collect();
 
-    // Incumbent: provided schedule or ASAP.
+    // Incumbent: provided schedule or ASAP, priced through the engine.
     let incumbent = config.incumbent.unwrap_or_else(|| inst.asap_schedule());
     incumbent
         .validate(inst, horizon)
         .expect("incumbent must be valid for the deadline");
-    let incumbent_cost = cawo_core::carbon_cost(inst, &incumbent, profile) as i64;
+    let incumbent_cost = E::build(inst, &incumbent, profile).total_cost() as i64;
+
+    // The search engine tracks placed tasks only: build it over the
+    // ASAP schedule, then vacate every task. What remains is the
+    // constant idle-overflow base cost.
+    let asap = inst.asap_schedule();
+    let mut engine = E::build(inst, &asap, profile);
+    for v in 0..n as NodeId {
+        let w = inst.work_power(v) as i64;
+        engine.apply_place(asap.start(v), inst.exec(v), -w);
+    }
+    let base_cost = engine.total_cost() as i64;
 
     let mut state = SearchState {
         inst,
         lst,
-        work: vec![0i64; horizon as usize],
-        headroom,
+        engine,
         prefix_cost: base_cost,
         start: vec![0; n],
         finish: vec![Time::MAX; n],
         best_cost: incumbent_cost,
         best_start: incumbent.starts().to_vec(),
         nodes: 0,
-        node_limit: config.node_limit,
+        node_limit: config.budget.node_limit,
+        deadline: config.budget.deadline_from_now(),
         exhausted: true,
     };
     let order = inst.topo_order().to_vec();
@@ -203,11 +227,61 @@ pub fn solve_exact(inst: &Instance, profile: &PowerProfile, config: BnbConfig) -
 
     let schedule = Schedule::new(state.best_start);
     debug_assert!(schedule.validate(inst, horizon).is_ok());
+    debug_assert_eq!(
+        state.best_cost as Cost,
+        cawo_core::carbon_cost(inst, &schedule, profile),
+        "engine-priced optimum disagrees with the cost oracle"
+    );
     BnbResult {
         cost: state.best_cost as Cost,
         schedule,
         optimal: state.exhausted,
         nodes: state.nodes,
+    }
+}
+
+/// The branch-and-bound method as a [`Solver`]: optimal on any
+/// instance, subject to the budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BnbSolver {
+    /// Cost-engine backend pricing the placements.
+    pub engine: EngineKind,
+}
+
+impl Solver for BnbSolver {
+    fn name(&self) -> &'static str {
+        "bnb"
+    }
+
+    fn solve(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+    ) -> Result<SolveResult, SolveError> {
+        require_feasible(inst, profile)?;
+        let (incumbent, _) = heuristic_incumbent(inst, profile);
+        let config = BnbConfig {
+            budget,
+            incumbent: Some(incumbent),
+        };
+        let res = match self.engine {
+            EngineKind::Dense => solve_exact_on::<DenseGrid>(inst, profile, config),
+            EngineKind::Interval => solve_exact_on::<IntervalEngine>(inst, profile, config),
+            EngineKind::Fenwick => solve_exact_on::<FenwickEngine>(inst, profile, config),
+        };
+        let lower_bound = res.optimal.then_some(res.cost);
+        Ok(SolveResult {
+            schedule: res.schedule,
+            cost: res.cost,
+            status: if res.optimal {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::TimedOut
+            },
+            nodes: res.nodes,
+            lower_bound,
+        })
     }
 }
 
@@ -302,7 +376,7 @@ mod tests {
             &inst,
             &profile,
             BnbConfig {
-                node_limit: 5_000_000,
+                budget: Budget::nodes(5_000_000),
                 incumbent: best,
             },
         );
@@ -349,14 +423,7 @@ mod tests {
     fn node_limit_returns_incumbent() {
         let inst = chain_instance(vec![2, 2, 2], 0, 3);
         let profile = PowerProfile::from_parts(vec![0, 20], vec![1]);
-        let res = solve_exact(
-            &inst,
-            &profile,
-            BnbConfig {
-                node_limit: 2,
-                incumbent: None,
-            },
-        );
+        let res = solve_exact(&inst, &profile, BnbConfig::with_node_limit(2));
         assert!(!res.optimal);
         // Incumbent (ASAP) cost is returned.
         let asap_cost = carbon_cost(&inst, &inst.asap_schedule(), &profile);
@@ -374,6 +441,63 @@ mod tests {
         assert_eq!(res.schedule.start(1), 2);
         // Cost: 5 idle units (1 each) + 5 active units (2 each) = 15.
         assert_eq!(res.cost, 15);
+    }
+
+    #[test]
+    fn all_engines_find_the_same_optimum() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let n = rng.gen_range(1..4);
+            let exec: Vec<Time> = (0..n).map(|_| rng.gen_range(1..4)).collect();
+            let total: Time = exec.iter().sum();
+            let inst = chain_instance(exec, rng.gen_range(0..2), rng.gen_range(1..6));
+            let horizon = total + rng.gen_range(1..=total + 2);
+            let mid = rng.gen_range(1..horizon);
+            let profile = PowerProfile::from_parts(
+                vec![0, mid, horizon],
+                vec![rng.gen_range(0..6), rng.gen_range(0..6)],
+            );
+            let dense =
+                solve_exact_on::<cawo_core::DenseGrid>(&inst, &profile, BnbConfig::default());
+            let sparse =
+                solve_exact_on::<cawo_core::IntervalEngine>(&inst, &profile, BnbConfig::default());
+            let fenwick =
+                solve_exact_on::<cawo_core::FenwickEngine>(&inst, &profile, BnbConfig::default());
+            assert_eq!(dense.cost, sparse.cost, "trial {trial}");
+            assert_eq!(dense.cost, fenwick.cost, "trial {trial}");
+            // Identical pruning order ⇒ identical node counts too.
+            assert_eq!(dense.nodes, sparse.nodes, "trial {trial}");
+            assert_eq!(dense.nodes, fenwick.nodes, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn solver_trait_reports_status() {
+        use crate::solver::Solver;
+        let inst = chain_instance(vec![2, 2], 0, 3);
+        let profile = PowerProfile::from_parts(vec![0, 4, 10], vec![0, 4]);
+        let res = BnbSolver::default()
+            .solve(&inst, &profile, Budget::default())
+            .unwrap();
+        assert_eq!(res.status, crate::solver::SolveStatus::Optimal);
+        assert_eq!(res.lower_bound, Some(res.cost));
+        assert_eq!(
+            res.cost,
+            carbon_cost(&inst, &res.schedule, &profile),
+            "reported cost must match the returned schedule"
+        );
+        // An exhausted budget degrades to a timed-out incumbent.
+        let tight = BnbSolver::default()
+            .solve(&inst, &profile, Budget::nodes(1))
+            .unwrap();
+        assert_eq!(tight.status, crate::solver::SolveStatus::TimedOut);
+        assert!(tight.cost >= res.cost);
+        // An infeasible deadline is reported, not panicked on.
+        let short = PowerProfile::uniform(3, 5);
+        assert!(matches!(
+            BnbSolver::default().solve(&inst, &short, Budget::default()),
+            Err(crate::solver::SolveError::Infeasible(_))
+        ));
     }
 
     #[test]

@@ -13,10 +13,22 @@
 //! the paper may drop it because its §6.1 profiles guarantee
 //! `G_j ≥ Σ P_idle` (making idle time free); these implementations stay
 //! exact for arbitrary budgets.
+//!
+//! Neither DP ever re-prices a candidate schedule: every transition is
+//! answered from two [`PrefixCost`] prefix-sum oracles (active and idle
+//! platform power) in `O(log J)` — the engine-backed incremental
+//! costing of `cawo_core::engine`, specialised to the uniprocessor
+//! setting.
 
-use cawo_core::{Cost, Instance, Schedule};
+use std::time::Instant;
+
+use cawo_core::{Cost, Instance, PrefixCost, Schedule};
 use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
+
+use crate::solver::{
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+};
 
 /// Result of an exact uniprocessor optimisation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,74 +42,29 @@ pub struct DpResult {
 /// Extracts the single chain (task order) of a uniprocessor instance.
 /// Panics if more than one unit actually executes nodes.
 fn single_chain(inst: &Instance) -> (Vec<NodeId>, u64) {
-    let mut chain: Option<(Vec<NodeId>, u64)> = None;
-    for u in 0..inst.unit_count() as u32 {
-        let order = inst.unit_order(u);
-        if order.is_empty() {
-            continue;
-        }
-        assert!(
-            chain.is_none(),
-            "uniprocessor DP requires all tasks on one execution unit"
-        );
-        chain = Some((order.to_vec(), inst.unit(u).p_work));
-    }
-    chain.expect("instance has at least one task")
-}
-
-/// Piecewise-constant cumulative cost helper: for a constant platform
-/// power `p`, `cum(x)` returns `Σ_{t<x} max(p - G(t), 0)` in `O(log J)`.
-struct CumCost {
-    boundaries: Vec<Time>,
-    /// Per-unit-time cost within each interval.
-    rate: Vec<u64>,
-    /// Cumulative cost at each boundary.
-    prefix: Vec<u64>,
-}
-
-impl CumCost {
-    fn new(profile: &PowerProfile, p: u64) -> Self {
-        let boundaries = profile.boundaries().to_vec();
-        let mut rate = Vec::with_capacity(profile.interval_count());
-        let mut prefix = Vec::with_capacity(boundaries.len());
-        prefix.push(0);
-        for j in 0..profile.interval_count() {
-            let r = p.saturating_sub(profile.budget(j));
-            let (b, e) = profile.interval_span(j);
-            rate.push(r);
-            prefix.push(prefix[j] + r * (e - b));
-        }
-        CumCost {
-            boundaries,
-            rate,
-            prefix,
-        }
-    }
-
-    /// `Σ_{t < x} max(p - G(t), 0)` for `x ≤ T`.
-    fn cum(&self, x: Time) -> u64 {
-        debug_assert!(x <= *self.boundaries.last().unwrap());
-        let j = match self.boundaries.binary_search(&x) {
-            Ok(j) => return self.prefix[j.min(self.prefix.len() - 1)],
-            Err(j) => j - 1,
-        };
-        self.prefix[j] + self.rate[j] * (x - self.boundaries[j])
-    }
-
-    /// Cost of the window `[a, b)`.
-    fn window(&self, a: Time, b: Time) -> u64 {
-        self.cum(b) - self.cum(a)
-    }
+    crate::solver::single_chain(inst).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The pseudo-polynomial DP (Eq. (1) plus idle-gap cost). `O(n·T)` time
 /// and memory; only suitable for moderate horizons.
 pub fn dp_pseudo_polynomial(inst: &Instance, profile: &PowerProfile) -> DpResult {
+    let (res, _) = dp_pseudo_budgeted(inst, profile, None).expect("no deadline given");
+    res
+}
+
+/// [`dp_pseudo_polynomial`] with a wall-clock deadline: returns `None`
+/// (abandoning the table) when the clock runs out between chain
+/// positions. The second tuple element counts evaluated DP cells.
+fn dp_pseudo_budgeted(
+    inst: &Instance,
+    profile: &PowerProfile,
+    wall_deadline: Option<Instant>,
+) -> Option<(DpResult, u64)> {
     let (chain, p_work) = single_chain(inst);
     let horizon = profile.deadline();
     let idle = inst.total_idle_power();
-    let active = CumCost::new(profile, idle + p_work);
-    let idle_cost = CumCost::new(profile, idle);
+    let active = PrefixCost::new(profile, idle + p_work);
+    let idle_cost = PrefixCost::new(profile, idle);
 
     let n = chain.len();
     let t_max = horizon as usize;
@@ -106,9 +73,14 @@ pub fn dp_pseudo_polynomial(inst: &Instance, profile: &PowerProfile) -> DpResult
     // opt[t] = best cost for the prefix ending exactly at t (current i).
     let mut opt = vec![INF; t_max + 1];
     let mut parents: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut cells: u64 = 0;
 
     let mut prefix_exec: Time = 0;
     for (i, &v) in chain.iter().enumerate() {
+        if wall_deadline.is_some_and(|d| Instant::now() >= d) {
+            return None;
+        }
+        cells += t_max as u64 + 1;
         let w = inst.exec(v);
         prefix_exec += w;
         let mut next = vec![INF; t_max + 1];
@@ -174,10 +146,13 @@ pub fn dp_pseudo_polynomial(inst: &Instance, profile: &PowerProfile) -> DpResult
         let p = parents[i][end as usize];
         end = if i == 0 { 0 } else { p as Time };
     }
-    DpResult {
-        cost: best_cost,
-        schedule: Schedule::new(start),
-    }
+    Some((
+        DpResult {
+            cost: best_cost,
+            schedule: Schedule::new(start),
+        },
+        cells,
+    ))
 }
 
 /// Candidate end times for each task position per Appendix A.2: for
@@ -235,11 +210,22 @@ fn candidate_end_times(
 /// over the `O(n²J)` candidate set per task (Lemma 4.2 guarantees an
 /// optimal E-schedule exists within it).
 pub fn dp_polynomial(inst: &Instance, profile: &PowerProfile) -> DpResult {
+    let (res, _) = dp_polynomial_budgeted(inst, profile, None).expect("no deadline given");
+    res
+}
+
+/// [`dp_polynomial`] with a wall-clock deadline; see
+/// [`dp_pseudo_budgeted`].
+fn dp_polynomial_budgeted(
+    inst: &Instance,
+    profile: &PowerProfile,
+    wall_deadline: Option<Instant>,
+) -> Option<(DpResult, u64)> {
     let (chain, p_work) = single_chain(inst);
     let horizon = profile.deadline();
     let idle = inst.total_idle_power();
-    let active = CumCost::new(profile, idle + p_work);
-    let idle_cost = CumCost::new(profile, idle);
+    let active = PrefixCost::new(profile, idle + p_work);
+    let idle_cost = PrefixCost::new(profile, idle);
 
     let n = chain.len();
     let cand = candidate_end_times(&chain, inst, profile);
@@ -252,7 +238,12 @@ pub fn dp_polynomial(inst: &Instance, profile: &PowerProfile) -> DpResult {
     // at cand[i][k]; parent[i][k] = index into cand[i-1].
     let mut opt_prev: Vec<i128> = Vec::new();
     let mut parents: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut cells: u64 = 0;
     for i in 0..n {
+        if wall_deadline.is_some_and(|d| Instant::now() >= d) {
+            return None;
+        }
+        cells += cand[i].len() as u64;
         let v = chain[i];
         let w = inst.exec(v);
         let cur = &cand[i];
@@ -317,9 +308,80 @@ pub fn dp_polynomial(inst: &Instance, profile: &PowerProfile) -> DpResult {
             k = parents[i][k] as usize;
         }
     }
-    DpResult {
-        cost: Cost::try_from(best_cost).expect("cost is non-negative"),
-        schedule: Schedule::new(start),
+    Some((
+        DpResult {
+            cost: Cost::try_from(best_cost).expect("cost is non-negative"),
+            schedule: Schedule::new(start),
+        },
+        cells,
+    ))
+}
+
+/// The uniprocessor dynamic programs as a [`Solver`]: optimal on
+/// single-chain instances, [`SolveError::Unsupported`] otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct DpSolver {
+    /// `true` runs the pseudo-polynomial `Opt(i, t)` table; `false`
+    /// (the default) the E-schedule-restricted polynomial DP.
+    pub pseudo: bool,
+}
+
+impl DpSolver {
+    /// The polynomial (E-schedule candidate set) variant.
+    pub fn polynomial() -> Self {
+        DpSolver { pseudo: false }
+    }
+
+    /// The pseudo-polynomial (per-time-unit table) variant.
+    pub fn pseudo() -> Self {
+        DpSolver { pseudo: true }
+    }
+}
+
+impl Solver for DpSolver {
+    fn name(&self) -> &'static str {
+        if self.pseudo {
+            "dp-pseudo"
+        } else {
+            "dp"
+        }
+    }
+
+    fn solve(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+    ) -> Result<SolveResult, SolveError> {
+        require_feasible(inst, profile)?;
+        crate::solver::single_chain(inst)?;
+        let wall_deadline = budget.deadline_from_now();
+        let run = if self.pseudo {
+            dp_pseudo_budgeted(inst, profile, wall_deadline)
+        } else {
+            dp_polynomial_budgeted(inst, profile, wall_deadline)
+        };
+        Ok(match run {
+            Some((res, cells)) => SolveResult {
+                cost: res.cost,
+                lower_bound: Some(res.cost),
+                schedule: res.schedule,
+                status: SolveStatus::Optimal,
+                nodes: cells,
+            },
+            None => {
+                // The table was abandoned mid-build; there is no DP
+                // incumbent, so fall back to the heuristic one.
+                let (schedule, cost) = heuristic_incumbent(inst, profile);
+                SolveResult {
+                    schedule,
+                    cost,
+                    status: SolveStatus::TimedOut,
+                    nodes: 0,
+                    lower_bound: None,
+                }
+            }
+        })
     }
 }
 
@@ -351,16 +413,52 @@ mod tests {
     }
 
     #[test]
-    fn cum_cost_queries() {
-        let profile = PowerProfile::from_parts(vec![0, 10, 20], vec![3, 8]);
-        let c = CumCost::new(&profile, 5);
-        // Rates: max(5-3,0)=2 then max(5-8,0)=0.
-        assert_eq!(c.cum(0), 0);
-        assert_eq!(c.cum(4), 8);
-        assert_eq!(c.cum(10), 20);
-        assert_eq!(c.cum(15), 20);
-        assert_eq!(c.cum(20), 20);
-        assert_eq!(c.window(5, 12), 10);
+    fn solver_trait_wraps_both_dps() {
+        let inst = chain_instance(vec![3, 2], 0, 4);
+        let profile = PowerProfile::from_parts(vec![0, 3, 8, 12], vec![0, 4, 1]);
+        for solver in [DpSolver::polynomial(), DpSolver::pseudo()] {
+            let res = solver.solve(&inst, &profile, Budget::default()).unwrap();
+            assert_eq!(res.status, SolveStatus::Optimal);
+            assert_eq!(res.cost, carbon_cost(&inst, &res.schedule, &profile));
+            assert_eq!(res.lower_bound, Some(res.cost));
+            assert!(res.nodes > 0, "DP cells are reported");
+        }
+        assert_eq!(DpSolver::polynomial().name(), "dp");
+        assert_eq!(DpSolver::pseudo().name(), "dp-pseudo");
+    }
+
+    #[test]
+    fn solver_rejects_multi_unit_and_infeasible_instances() {
+        let dag = DagBuilder::new(2).build().unwrap();
+        let multi = Instance::from_raw(
+            dag,
+            vec![1, 1],
+            vec![0, 1],
+            vec![
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 1,
+                    is_link: false,
+                },
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 1,
+                    is_link: false,
+                },
+            ],
+            0,
+        );
+        let profile = PowerProfile::uniform(5, 1);
+        assert!(matches!(
+            DpSolver::polynomial().solve(&multi, &profile, Budget::default()),
+            Err(SolveError::Unsupported(_))
+        ));
+        let uni = chain_instance(vec![4, 4], 0, 1);
+        let tight = PowerProfile::uniform(5, 1); // deadline < total exec
+        assert!(matches!(
+            DpSolver::pseudo().solve(&uni, &tight, Budget::default()),
+            Err(SolveError::Infeasible(_))
+        ));
     }
 
     #[test]

@@ -12,10 +12,21 @@
 //! uniprocessor schedule can be normalised without cost regression, and
 //! property tests use it to confirm the DP's E-schedule restriction is
 //! lossless.
+//!
+//! Candidate block shifts are priced through the incremental
+//! [`CostEngine`] shift API — one candidate costs
+//! `O(block size · breakpoints touched)` on the interval backend,
+//! instead of a full-schedule re-evaluation per candidate.
 
-use cawo_core::{carbon_cost, Cost, Instance, Schedule};
+use cawo_core::{
+    Cost, CostEngine, DenseGrid, EngineKind, FenwickEngine, Instance, IntervalEngine, Schedule,
+};
 use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
+
+use crate::solver::{
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+};
 
 /// One maximal block of back-to-back tasks: positions `[first, last]`
 /// in the chain plus its start time.
@@ -55,8 +66,9 @@ fn is_boundary(profile: &PowerProfile, t: Time) -> bool {
 }
 
 /// Transforms a valid uniprocessor schedule into an E-schedule of equal
-/// or lower carbon cost (Lemma 4.2's constructive argument). Returns the
-/// transformed schedule and its cost.
+/// or lower carbon cost (Lemma 4.2's constructive argument) on the
+/// default (interval-sparse) cost engine. Returns the transformed
+/// schedule and its cost.
 ///
 /// Panics if the instance uses more than one execution unit.
 pub fn to_e_schedule(
@@ -64,21 +76,42 @@ pub fn to_e_schedule(
     profile: &PowerProfile,
     sched: &Schedule,
 ) -> (Schedule, Cost) {
-    let mut chain: Option<Vec<NodeId>> = None;
-    for u in 0..inst.unit_count() as u32 {
-        if !inst.unit_order(u).is_empty() {
-            assert!(
-                chain.is_none(),
-                "E-schedule transformation requires one unit"
-            );
-            chain = Some(inst.unit_order(u).to_vec());
-        }
-    }
-    let chain = chain.expect("instance has at least one task");
+    to_e_schedule_on::<IntervalEngine>(inst, profile, sched)
+}
+
+/// [`to_e_schedule`] on an explicit cost-engine backend. Every backend
+/// prices shifts exactly, so the trajectory — and the result — is
+/// identical; only the speed differs.
+pub fn to_e_schedule_on<E: CostEngine>(
+    inst: &Instance,
+    profile: &PowerProfile,
+    sched: &Schedule,
+) -> (Schedule, Cost) {
+    let (chain, _) = crate::solver::single_chain(inst).unwrap_or_else(|e| panic!("{e}"));
     let horizon = profile.deadline();
 
     let mut cur = sched.clone();
-    let mut cur_cost = carbon_cost(inst, &cur, profile);
+    let mut engine = E::build(inst, &cur, profile);
+    let mut cur_cost = engine.total_cost() as i64;
+
+    // Shifts the target block by `delta` on the engine, returning the
+    // exact cost change. Tasks are moved one at a time; the deltas are
+    // exact because each is evaluated against the already-updated
+    // state, so their sum telescopes to the block move's true cost.
+    let block_shift = |engine: &mut E, cur: &mut Schedule, range: (usize, usize), delta: i64| {
+        let mut total = 0i64;
+        for &v in &chain[range.0..=range.1] {
+            let s = cur.start(v);
+            let len = inst.exec(v);
+            let w = inst.work_power(v) as i64;
+            let ns = (s as i64 + delta) as Time;
+            total += engine.shift_delta(s, len, w, ns);
+            engine.apply_shift(s, len, w, ns);
+            cur.set_start(v, ns);
+        }
+        total
+    };
+
     // Each iteration aligns or merges at least one block; both events
     // can happen O(n + J) times, so this terminates.
     loop {
@@ -88,7 +121,12 @@ pub fn to_e_schedule(
             .enumerate()
             .find(|(_, b)| !is_boundary(profile, b.start) && !is_boundary(profile, b.end));
         let Some((bi, b)) = target else {
-            return (cur, cur_cost);
+            debug_assert_eq!(
+                cur_cost as Cost,
+                cawo_core::carbon_cost(inst, &cur, profile),
+                "engine-tracked cost diverged from the oracle"
+            );
+            return (cur, cur_cost as Cost);
         };
 
         // Candidate shifts, exactly as in the proof: moving left stops
@@ -112,45 +150,78 @@ pub fn to_e_schedule(
             .min(next_boundary(profile, b.end) - b.end)
             .min(next_start - b.end);
 
-        // The proof shifts towards the greener side; trying both and
-        // keeping the cheaper result subsumes that and is still
-        // monotone, because shifting a whole block within its free gap
-        // towards a boundary can always be done in the non-increasing
-        // direction (Lemma 4.2).
-        let shifted = |delta: i64| -> Schedule {
-            let mut s2 = cur.clone();
-            for &v in &chain[b.first..=b.last] {
-                let ns = (cur.start(v) as i64 + delta) as Time;
-                s2.set_start(v, ns);
-            }
-            s2
-        };
-        let mut best: Option<(Cost, Schedule)> = None;
+        // The proof shifts towards the greener side; evaluating both on
+        // the engine (shift, read the delta, shift back) and keeping
+        // the cheaper result subsumes that and is still monotone,
+        // because shifting a whole block within its free gap towards a
+        // boundary can always be done in the non-increasing direction
+        // (Lemma 4.2).
+        let range = (b.first, b.last);
+        let mut best: Option<(i64, i64)> = None; // (cost delta, shift)
         if delta_left > 0 {
-            let s2 = shifted(-(delta_left as i64));
-            let c2 = carbon_cost(inst, &s2, profile);
-            best = Some((c2, s2));
+            let d = block_shift(&mut engine, &mut cur, range, -(delta_left as i64));
+            block_shift(&mut engine, &mut cur, range, delta_left as i64);
+            best = Some((d, -(delta_left as i64)));
         }
         if delta_right > 0 {
-            let s2 = shifted(delta_right as i64);
-            let c2 = carbon_cost(inst, &s2, profile);
-            if best.as_ref().is_none_or(|(c, _)| c2 < *c) {
-                best = Some((c2, s2));
+            let d = block_shift(&mut engine, &mut cur, range, delta_right as i64);
+            block_shift(&mut engine, &mut cur, range, -(delta_right as i64));
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, delta_right as i64));
             }
         }
         match best {
-            Some((c2, s2)) => {
+            Some((d, shift)) => {
                 // Lemma 4.2: the greener direction never increases the
                 // cost, and `best` is the cheaper of the two.
-                debug_assert!(c2 <= cur_cost, "Lemma 4.2 violated — bug");
-                cur = s2;
-                cur_cost = c2;
+                debug_assert!(d <= 0, "Lemma 4.2 violated — bug");
+                block_shift(&mut engine, &mut cur, range, shift);
+                cur_cost += d;
             }
             // Unreachable in practice: a block with zero room on both
             // sides would have been fused with its neighbours by the
             // block decomposition. Kept as a safe exit.
-            None => return (cur, cur_cost),
+            None => return (cur, cur_cost as Cost),
         }
+    }
+}
+
+/// Lemma 4.2 as a [`Solver`]: seeds from the strongest heuristic and
+/// normalises it into an E-schedule of equal or lower cost. Always
+/// [`SolveStatus::Feasible`] — the lemma guarantees no regression, not
+/// optimality. Uniprocessor instances only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EscheduleSolver {
+    /// Cost-engine backend pricing the block shifts.
+    pub engine: EngineKind,
+}
+
+impl Solver for EscheduleSolver {
+    fn name(&self) -> &'static str {
+        "eschedule"
+    }
+
+    fn solve(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        _budget: Budget,
+    ) -> Result<SolveResult, SolveError> {
+        require_feasible(inst, profile)?;
+        crate::solver::single_chain(inst)?;
+        let (seed, _) = heuristic_incumbent(inst, profile);
+        let (schedule, cost) = match self.engine {
+            EngineKind::Dense => to_e_schedule_on::<DenseGrid>(inst, profile, &seed),
+            EngineKind::Interval => to_e_schedule_on::<IntervalEngine>(inst, profile, &seed),
+            EngineKind::Fenwick => to_e_schedule_on::<FenwickEngine>(inst, profile, &seed),
+        };
+        Ok(SolveResult {
+            schedule,
+            cost,
+            status: SolveStatus::Feasible,
+            nodes: 0,
+            lower_bound: None,
+        })
     }
 }
 
@@ -187,6 +258,7 @@ pub fn is_e_schedule(inst: &Instance, profile: &PowerProfile, sched: &Schedule) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cawo_core::carbon_cost;
     use cawo_core::enhanced::UnitInfo;
     use cawo_graph::dag::DagBuilder;
 

@@ -99,12 +99,21 @@ impl IlpModel {
         self.domains.len()
     }
 
+    /// Variable count the model *would* have for `n` tasks over a
+    /// horizon of `t` time units, without building it — the layout is
+    /// three `n·t` binary blocks (s, e, r) plus four per-time-unit
+    /// columns (gu, bu, γ, α). The solvers' model-size guards use this
+    /// so the formula lives in exactly one place.
+    pub fn var_count_for(n: usize, t: usize) -> usize {
+        3 * n * t + 4 * t
+    }
+
     /// Builds the full model for an instance and profile.
     pub fn build(inst: &Instance, profile: &PowerProfile) -> IlpModel {
         let n = inst.node_count();
         let horizon = profile.deadline();
         let t_usize = horizon as usize;
-        let var_count = 3 * n * t_usize + 4 * t_usize;
+        let var_count = IlpModel::var_count_for(n, t_usize);
         let mut model = IlpModel {
             domains: Vec::with_capacity(var_count),
             names: Vec::with_capacity(var_count),
@@ -351,6 +360,19 @@ impl IlpModel {
         x
     }
 
+    /// Inverse of [`IlpModel::assignment_of`]: reads the start time of
+    /// every task out of the `s(v,t)` binaries of a (possibly
+    /// fractional) solver solution. Returns `None` when some task has
+    /// no set start variable — an incomplete or tampered assignment.
+    pub fn extract_schedule(&self, x: &[f64]) -> Option<Schedule> {
+        let mut starts = Vec::with_capacity(self.n);
+        for v in 0..self.n as NodeId {
+            let t = (0..self.horizon).find(|&t| x[self.s_var(v, t) as usize] > 0.5)?;
+            starts.push(t);
+        }
+        Some(Schedule::new(starts))
+    }
+
     /// Objective value of an assignment.
     pub fn objective_value(&self, x: &[i64]) -> i64 {
         self.objective.iter().map(|&(v, c)| c * x[v as usize]).sum()
@@ -452,6 +474,59 @@ pub fn check_schedule_against_ilp(
     let x = model.assignment_of(inst, profile, sched);
     model.check_assignment(&x)?;
     Ok(model.objective_value(&x) as Cost)
+}
+
+/// Checker-certified branch-and-bound as a [`Solver`](crate::solver::Solver): runs the
+/// combinatorial search, then materialises the Appendix A.4 model and
+/// verifies that the returned schedule satisfies every ILP constraint
+/// with an objective equal to the reported cost — the executable link
+/// between the combinatorial optimum and the paper's ILP formulation.
+///
+/// The certificate requires building the `Θ(N·T)`-variable model, so
+/// instances whose model would exceed `max_vars` are declined as
+/// [`SolveError::Unsupported`](crate::solver::SolveError::Unsupported).
+#[derive(Debug, Clone, Copy)]
+pub struct IlpSolver {
+    /// Refuse certification models with more variables than this.
+    pub max_vars: usize,
+}
+
+impl Default for IlpSolver {
+    fn default() -> Self {
+        IlpSolver { max_vars: 200_000 }
+    }
+}
+
+impl crate::solver::Solver for IlpSolver {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+
+    fn solve(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: crate::solver::Budget,
+    ) -> Result<crate::solver::SolveResult, crate::solver::SolveError> {
+        use crate::solver::SolveError;
+        let n = inst.node_count();
+        let t = profile.deadline() as usize;
+        let var_count = IlpModel::var_count_for(n, t);
+        if var_count > self.max_vars {
+            return Err(SolveError::Unsupported(format!(
+                "certification model needs {var_count} variables (cap {})",
+                self.max_vars
+            )));
+        }
+        let res = crate::bnb::BnbSolver::default().solve(inst, profile, budget)?;
+        let certified = check_schedule_against_ilp(inst, profile, &res.schedule)
+            .map_err(SolveError::Infeasible)?;
+        assert_eq!(
+            certified, res.cost,
+            "ILP certificate disagrees with the search optimum"
+        );
+        Ok(res)
+    }
 }
 
 #[cfg(test)]

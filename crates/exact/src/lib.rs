@@ -20,6 +20,17 @@
 //!   tiny instances, cross-validating the combinatorial solver,
 //! * [`reduction`] — the 3-Partition gadget of the strong NP-completeness
 //!   proof (§4.2 / Appendix A.3), used as an adversarial test generator.
+//!
+//! All methods are reachable through one interface: the
+//! [`solver::Solver`] trait (`solve(&Instance, &PowerProfile, Budget) →
+//! SolveResult`), with [`solver::SolverKind`] as the runtime registry
+//! that CLIs and experiment grids select from. The solvers' inner loops
+//! price candidates through `cawo_core`'s incremental [`CostEngine`]
+//! machinery (placement deltas, prefix-sum oracles) — never by
+//! re-evaluating whole schedules with `carbon_cost`, which is reserved
+//! for tests and debug oracles.
+//!
+//! [`CostEngine`]: cawo_core::CostEngine
 
 #![warn(missing_docs)]
 
@@ -30,11 +41,13 @@ pub mod ilp;
 pub mod milp;
 pub mod reduction;
 pub mod simplex;
+pub mod solver;
 
-pub use bnb::{solve_exact, BnbConfig, BnbResult};
-pub use dp::{dp_polynomial, dp_pseudo_polynomial, DpResult};
-pub use eschedule::{is_e_schedule, to_e_schedule};
-pub use ilp::{check_schedule_against_ilp, IlpModel};
-pub use milp::{solve_ilp_model, MilpConfig, MilpOutcome};
+pub use bnb::{solve_exact, solve_exact_on, BnbConfig, BnbResult, BnbSolver};
+pub use dp::{dp_polynomial, dp_pseudo_polynomial, DpResult, DpSolver};
+pub use eschedule::{is_e_schedule, to_e_schedule, to_e_schedule_on, EscheduleSolver};
+pub use ilp::{check_schedule_against_ilp, IlpModel, IlpSolver};
+pub use milp::{solve_ilp_model, MilpConfig, MilpOutcome, MilpSolver};
 pub use reduction::three_partition_instance;
-pub use simplex::{solve_lp, LpCmp, LpOutcome, LpProblem};
+pub use simplex::{solve_lp, LpCmp, LpOutcome, LpProblem, LpSolver};
+pub use solver::{Budget, SolveError, SolveResult, SolveStatus, Solver, SolverKind};

@@ -305,6 +305,85 @@ fn pivot(
     basis[row] = col;
 }
 
+/// The LP relaxation of the Appendix A.4 model as a [`Solver`](crate::solver::Solver): one
+/// two-phase simplex solve yields a *proven lower bound* on the optimal
+/// carbon cost (the objective is integral, so the bound rounds up),
+/// which is paired with the strongest heuristic incumbent. When the
+/// incumbent meets the bound the result is certified
+/// [`SolveStatus::Optimal`](crate::solver::SolveStatus::Optimal) without any branching; otherwise it is
+/// returned as [`SolveStatus::Feasible`](crate::solver::SolveStatus::Feasible) with the bound attached — the
+/// cheapest optimality certificate in the suite.
+///
+/// Like the MILP solver, the dense tableau caps the tractable model
+/// size; larger instances are declined as
+/// [`crate::solver::SolveError::Unsupported`].
+#[derive(Debug, Clone, Copy)]
+pub struct LpSolver {
+    /// Refuse models with more variables than this. One LP solve is
+    /// much cheaper than the MILP search, but the dense tableau still
+    /// pays rows × columns per pivot, and the row count outgrows the
+    /// variable count (see [`crate::milp::MilpSolver::max_vars`]).
+    pub max_vars: usize,
+}
+
+impl Default for LpSolver {
+    fn default() -> Self {
+        LpSolver { max_vars: 600 }
+    }
+}
+
+impl crate::solver::Solver for LpSolver {
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+
+    fn solve(
+        &self,
+        inst: &cawo_core::Instance,
+        profile: &cawo_platform::PowerProfile,
+        _budget: crate::solver::Budget,
+    ) -> Result<crate::solver::SolveResult, crate::solver::SolveError> {
+        use crate::solver::{SolveError, SolveResult, SolveStatus};
+        crate::solver::require_feasible(inst, profile)?;
+        let n = inst.node_count();
+        let t = profile.deadline() as usize;
+        let var_count = crate::ilp::IlpModel::var_count_for(n, t);
+        if var_count > self.max_vars {
+            return Err(SolveError::Unsupported(format!(
+                "LP relaxation needs {var_count} variables (cap {})",
+                self.max_vars
+            )));
+        }
+        let model = crate::ilp::IlpModel::build(inst, profile);
+        let (lp, _) = crate::milp::lp_relaxation(&model);
+        let lower_bound = match solve_lp(&lp) {
+            LpOutcome::Optimal { objective, .. } => {
+                // The true objective is integral; rounding the relaxed
+                // bound up (modulo float noise) keeps it valid.
+                (objective - 1e-6).ceil().max(0.0) as cawo_core::Cost
+            }
+            LpOutcome::Infeasible => {
+                return Err(SolveError::Infeasible(
+                    "LP relaxation infeasible — model/instance mismatch".into(),
+                ))
+            }
+            LpOutcome::Unbounded => unreachable!("A.4 objective is bounded below by 0"),
+        };
+        let (schedule, cost) = crate::solver::heuristic_incumbent(inst, profile);
+        Ok(SolveResult {
+            schedule,
+            cost,
+            status: if cost <= lower_bound {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::Feasible
+            },
+            nodes: 0,
+            lower_bound: Some(lower_bound),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

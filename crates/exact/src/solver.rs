@@ -1,0 +1,381 @@
+//! The unified [`Solver`] interface over every exact method.
+//!
+//! Before this module existed, each exact algorithm had its own entry
+//! point with its own shape — `dp_polynomial` returning a `DpResult`,
+//! `solve_exact` a `BnbResult`, `solve_ilp_model` a `MilpOutcome`,
+//! `to_e_schedule` a bare tuple. The [`Solver`] trait replaces that
+//! scatter with one contract:
+//!
+//! ```text
+//! solve(&Instance, &PowerProfile, Budget)
+//!     -> Result<SolveResult { schedule, cost, status, … }, SolveError>
+//! ```
+//!
+//! so experiment grids, CLIs and benches can treat "an exact column" as
+//! a value ([`SolverKind`]) exactly like they treat heuristic
+//! [`cawo_core::Variant`]s. Every registered solver:
+//!
+//! | name        | module                     | method                                    | guarantee |
+//! |-------------|----------------------------|-------------------------------------------|-----------|
+//! | `bnb`       | [`crate::bnb`]             | combinatorial branch-and-bound            | optimal   |
+//! | `dp`        | [`crate::dp`]              | E-schedule-restricted polynomial DP       | optimal (uniprocessor) |
+//! | `dp-pseudo` | [`crate::dp`]              | pseudo-polynomial `Opt(i, t)` table       | optimal (uniprocessor) |
+//! | `eschedule` | [`crate::eschedule`]       | heuristic seed + Lemma 4.2 normalisation  | feasible (uniprocessor) |
+//! | `ilp`       | [`crate::ilp`]             | branch-and-bound certified by the ILP checker | optimal |
+//! | `milp`      | [`crate::milp`]            | Appendix A.4 model solved by simplex B&B  | optimal (tiny instances) |
+//! | `lp`        | [`crate::simplex`]         | LP-relaxation lower bound + best heuristic | optimal iff bound met |
+//!
+//! Solvers that cannot handle an instance (multi-unit input to a
+//! uniprocessor method, a time-indexed model too large to materialise)
+//! return [`SolveError::Unsupported`] instead of panicking, so a grid
+//! run records an honest per-row status.
+
+use std::time::{Duration, Instant};
+
+use cawo_core::{Cost, CostEngine, EngineKind, Instance, IntervalEngine, Schedule, Variant};
+use cawo_graph::NodeId;
+use cawo_platform::PowerProfile;
+
+/// How a [`SolveResult`] was concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The returned schedule is proven optimal.
+    Optimal,
+    /// The returned schedule is valid but carries no optimality proof
+    /// (the method itself is inexact, e.g. a polisher or rounding).
+    Feasible,
+    /// The budget ran out; the best incumbent found so far is returned.
+    TimedOut,
+}
+
+impl SolveStatus {
+    /// Stable lowercase label for reports and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Feasible => "feasible",
+            SolveStatus::TimedOut => "timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resource budget for one [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on explored search nodes (B&B nodes, MILP nodes).
+    pub node_limit: u64,
+    /// Wall-clock cap; checked periodically, so slightly overshootable.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            node_limit: 50_000_000,
+            time_limit: None,
+        }
+    }
+}
+
+impl Budget {
+    /// A node-count budget with no time limit.
+    pub fn nodes(node_limit: u64) -> Self {
+        Budget {
+            node_limit,
+            ..Budget::default()
+        }
+    }
+
+    /// A wall-clock budget with the default node limit.
+    pub fn time(limit: Duration) -> Self {
+        Budget {
+            time_limit: Some(limit),
+            ..Budget::default()
+        }
+    }
+
+    /// Parses a budget spec: a bare integer is a node limit, a value
+    /// with an `ms`/`s` suffix is a time limit, and a comma combines
+    /// both (`"500000,250ms"`). Negative, non-finite or absurdly large
+    /// durations are rejected (`None`), never panicked on.
+    pub fn parse(s: &str) -> Option<Budget> {
+        let mut budget = Budget::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if let Some(ms) = part.strip_suffix("ms") {
+                budget.time_limit = Some(Duration::from_millis(ms.trim().parse().ok()?));
+            } else if let Some(secs) = part.strip_suffix('s') {
+                let v: f64 = secs.trim().parse().ok()?;
+                budget.time_limit = Some(Duration::try_from_secs_f64(v).ok()?);
+            } else {
+                budget.node_limit = part.parse().ok()?;
+            }
+        }
+        Some(budget)
+    }
+
+    /// The wall-clock deadline implied by the time limit, anchored now.
+    pub(crate) fn deadline_from_now(&self) -> Option<Instant> {
+        self.time_limit.map(|d| Instant::now() + d)
+    }
+}
+
+/// Outcome of a successful [`Solver::solve`] call.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The returned (always deadline-valid) schedule.
+    pub schedule: Schedule,
+    /// Its carbon cost — equals `CostEngine::total_cost` of `schedule`
+    /// (enforced by the differential property suite).
+    pub cost: Cost,
+    /// How the result was concluded.
+    pub status: SolveStatus,
+    /// Explored search nodes / DP cells (0 where meaningless).
+    pub nodes: u64,
+    /// A proven lower bound on the optimal cost, when the method
+    /// produces one (LP relaxation, exhausted B&B).
+    pub lower_bound: Option<Cost>,
+}
+
+/// Why a solver declined an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The method cannot represent this instance (multi-unit input to a
+    /// uniprocessor method; a time-indexed model too large to build).
+    Unsupported(String),
+    /// No schedule meets the deadline (below the ASAP makespan).
+    Infeasible(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SolveError::Infeasible(m) => write!(f, "infeasible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A carbon-cost minimiser over the exact solution space.
+///
+/// Implementations must return schedules that validate against the
+/// instance and the profile deadline, and report `cost` equal to the
+/// carbon cost of the returned schedule.
+pub trait Solver {
+    /// Stable lowercase identifier (CLI flag value, CSV column).
+    fn name(&self) -> &'static str;
+
+    /// Runs the method on one instance under a resource budget.
+    fn solve(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+    ) -> Result<SolveResult, SolveError>;
+}
+
+/// Selects a registered [`Solver`] at run time (CLI flag, experiment
+/// configs) — the exact-solver counterpart of
+/// [`cawo_core::EngineKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Combinatorial branch-and-bound ([`crate::bnb::BnbSolver`]).
+    Bnb,
+    /// Polynomial E-schedule DP ([`crate::dp::DpSolver`]).
+    Dp,
+    /// Pseudo-polynomial DP ([`crate::dp::DpSolver`]).
+    DpPseudo,
+    /// Heuristic + Lemma 4.2 polish ([`crate::eschedule::EscheduleSolver`]).
+    Eschedule,
+    /// Checker-certified branch-and-bound ([`crate::ilp::IlpSolver`]).
+    Ilp,
+    /// Appendix A.4 model via simplex B&B ([`crate::milp::MilpSolver`]).
+    Milp,
+    /// LP-relaxation bound + incumbent ([`crate::simplex::LpSolver`]).
+    Lp,
+}
+
+impl SolverKind {
+    /// Every registered solver, general-purpose first.
+    pub const ALL: [SolverKind; 7] = [
+        SolverKind::Bnb,
+        SolverKind::Dp,
+        SolverKind::DpPseudo,
+        SolverKind::Eschedule,
+        SolverKind::Ilp,
+        SolverKind::Milp,
+        SolverKind::Lp,
+    ];
+
+    /// Stable label (inverse of [`SolverKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Bnb => "bnb",
+            SolverKind::Dp => "dp",
+            SolverKind::DpPseudo => "dp-pseudo",
+            SolverKind::Eschedule => "eschedule",
+            SolverKind::Ilp => "ilp",
+            SolverKind::Milp => "milp",
+            SolverKind::Lp => "lp",
+        }
+    }
+
+    /// Parses a label (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        SolverKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Instantiates the solver with its default configuration.
+    pub fn build(self) -> Box<dyn Solver + Send + Sync> {
+        match self {
+            SolverKind::Bnb => Box::new(crate::bnb::BnbSolver::default()),
+            SolverKind::Dp => Box::new(crate::dp::DpSolver::polynomial()),
+            SolverKind::DpPseudo => Box::new(crate::dp::DpSolver::pseudo()),
+            SolverKind::Eschedule => Box::new(crate::eschedule::EscheduleSolver::default()),
+            SolverKind::Ilp => Box::new(crate::ilp::IlpSolver::default()),
+            SolverKind::Milp => Box::new(crate::milp::MilpSolver::default()),
+            SolverKind::Lp => Box::new(crate::simplex::LpSolver::default()),
+        }
+    }
+
+    /// Instantiates the solver with an explicit cost-engine backend
+    /// (where the solver is engine-generic; others ignore it).
+    pub fn build_with_engine(self, engine: EngineKind) -> Box<dyn Solver + Send + Sync> {
+        match self {
+            SolverKind::Bnb => Box::new(crate::bnb::BnbSolver { engine }),
+            SolverKind::Eschedule => Box::new(crate::eschedule::EscheduleSolver { engine }),
+            other => other.build(),
+        }
+    }
+
+    /// One-line description for `--help` output and docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SolverKind::Bnb => "branch-and-bound over start times (optimal; any instance)",
+            SolverKind::Dp => "polynomial E-schedule DP (optimal; uniprocessor chains)",
+            SolverKind::DpPseudo => "pseudo-polynomial Opt(i,t) DP (optimal; uniprocessor chains)",
+            SolverKind::Eschedule => {
+                "heuristic + Lemma 4.2 block-shift polish (feasible; uniprocessor)"
+            }
+            SolverKind::Ilp => "branch-and-bound certified against the Appendix A.4 ILP (optimal)",
+            SolverKind::Milp => {
+                "Appendix A.4 model via two-phase simplex B&B (optimal; tiny instances)"
+            }
+            SolverKind::Lp => "LP-relaxation lower bound + best heuristic incumbent",
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fails with [`SolveError::Infeasible`] when the deadline is below the
+/// ASAP makespan (no valid schedule exists at all).
+pub(crate) fn require_feasible(inst: &Instance, profile: &PowerProfile) -> Result<(), SolveError> {
+    let asap = inst.asap_makespan();
+    if profile.deadline() < asap {
+        return Err(SolveError::Infeasible(format!(
+            "deadline {} below ASAP makespan {asap}",
+            profile.deadline()
+        )));
+    }
+    Ok(())
+}
+
+/// Extracts the single execution chain of a uniprocessor instance, or
+/// explains why the method does not apply.
+pub(crate) fn single_chain(inst: &Instance) -> Result<(Vec<NodeId>, u64), SolveError> {
+    let mut chain: Option<(Vec<NodeId>, u64)> = None;
+    for u in 0..inst.unit_count() as u32 {
+        let order = inst.unit_order(u);
+        if order.is_empty() {
+            continue;
+        }
+        if chain.is_some() {
+            return Err(SolveError::Unsupported(
+                "uniprocessor method requires all tasks on one execution unit".into(),
+            ));
+        }
+        chain = Some((order.to_vec(), inst.unit(u).p_work));
+    }
+    chain.ok_or_else(|| SolveError::Unsupported("instance has no tasks".into()))
+}
+
+/// The strongest heuristic incumbent available without a search:
+/// `pressWR-LS` against the ASAP baseline, costed through the interval
+/// engine (never through `carbon_cost`).
+pub(crate) fn heuristic_incumbent(inst: &Instance, profile: &PowerProfile) -> (Schedule, Cost) {
+    let asap = inst.asap_schedule();
+    let asap_cost = IntervalEngine::build(inst, &asap, profile).total_cost();
+    let heur = Variant::PressWRLs.run(inst, profile);
+    let heur_cost = IntervalEngine::build(inst, &heur, profile).total_cost();
+    if heur_cost <= asap_cost {
+        (heur, heur_cost)
+    } else {
+        (asap, asap_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(Budget::parse("12345"), Some(Budget::nodes(12345)));
+        assert_eq!(
+            Budget::parse("250ms"),
+            Some(Budget::time(Duration::from_millis(250)))
+        );
+        assert_eq!(
+            Budget::parse("2s"),
+            Some(Budget::time(Duration::from_secs(2)))
+        );
+        assert_eq!(
+            Budget::parse("1000, 50ms"),
+            Some(Budget {
+                node_limit: 1000,
+                time_limit: Some(Duration::from_millis(50)),
+            })
+        );
+        assert_eq!(Budget::parse("fast"), None);
+        assert_eq!(Budget::parse("1.5x"), None);
+        // Pathological durations are rejected, not panicked on.
+        assert_eq!(Budget::parse("-1s"), None);
+        assert_eq!(Budget::parse("nans"), None);
+        assert_eq!(Budget::parse("infs"), None);
+        assert_eq!(Budget::parse("1e300s"), None);
+    }
+
+    #[test]
+    fn solver_kind_labels_roundtrip() {
+        for k in SolverKind::ALL {
+            assert_eq!(SolverKind::parse(k.name()), Some(k));
+            assert_eq!(SolverKind::parse(&k.name().to_uppercase()), Some(k));
+            assert_eq!(k.build().name(), k.name());
+            assert!(!k.describe().is_empty());
+        }
+        assert_eq!(SolverKind::parse("gurobi"), None);
+        assert_eq!(SolverKind::Bnb.to_string(), "bnb");
+    }
+
+    #[test]
+    fn status_labels() {
+        assert_eq!(SolveStatus::Optimal.name(), "optimal");
+        assert_eq!(SolveStatus::Feasible.name(), "feasible");
+        assert_eq!(SolveStatus::TimedOut.to_string(), "timeout");
+    }
+}

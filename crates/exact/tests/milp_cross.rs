@@ -40,7 +40,7 @@ fn solve_all_ways(inst: &Instance, profile: &PowerProfile) -> (u64, u64) {
         &model,
         MilpConfig {
             node_limit: 500_000,
-            int_tol: 1e-6,
+            ..MilpConfig::default()
         },
     );
     let milp_obj = match milp {

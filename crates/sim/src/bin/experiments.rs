@@ -1,85 +1,143 @@
 //! Dumps the raw experiment grid as CSV (one row per instance ×
-//! variant) for downstream analysis, mirroring the paper's
+//! algorithm) for downstream analysis, mirroring the paper's
 //! reproducibility artifacts.
 //!
 //! ```text
-//! experiments [--scale quick|medium|full] [--seed N] [--engine dense|interval]
+//! experiments [--scale quick|medium|full] [--seed N]
+//!             [--engine dense|interval|fenwick]
+//!             [--solver NAME[,NAME...]] [--solver-budget SPEC]
+//!             [--trace CSV] [--serial-timing]
 //! ```
+//!
+//! Heuristic rows carry `kind = variant` and an empty status; exact
+//! solvers (opted in with `--solver`) emit `kind = solver` rows with a
+//! per-row status (`optimal`, `feasible`, `timeout`, `unsupported`,
+//! `infeasible`), node counts and, where available, a proven lower
+//! bound. `--trace` adds a measured carbon-intensity trace as a fifth
+//! scenario column next to S1–S4; `--serial-timing` times algorithms
+//! one at a time so per-algorithm wall-clocks are contention-free.
 
 use cawo_core::EngineKind;
-use cawo_sim::experiment::{run_grid, size_class, ExperimentConfig, GridScale};
+use cawo_exact::{Budget, SolverKind};
+use cawo_platform::TraceSource;
+use cawo_sim::experiment::{run_grid, size_class, ExperimentConfig, GridScale, TraceScenario};
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = GridScale::Quick;
-    let mut seed = 42u64;
-    let mut engine = EngineKind::default();
+    let mut cfg = ExperimentConfig::new(GridScale::Quick, 42);
     let mut i = 0;
+    let next = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| die(&format!("missing value for {}", args[*i - 1])))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                i += 1;
-                scale =
-                    GridScale::parse(args.get(i).map_or("", |s| s.as_str())).unwrap_or_else(|| {
-                        eprintln!("expected --scale quick|medium|full");
-                        std::process::exit(2);
-                    });
+                cfg.scale = GridScale::parse(&next(&args, &mut i))
+                    .unwrap_or_else(|| die("expected --scale quick|medium|full"));
             }
             "--seed" => {
-                i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("expected --seed <u64>");
-                    std::process::exit(2);
-                });
+                cfg.seed = next(&args, &mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("expected --seed <u64>"));
             }
             "--engine" => {
-                i += 1;
-                engine = EngineKind::parse(args.get(i).map_or("", |s| s.as_str())).unwrap_or_else(
-                    || {
-                        eprintln!("expected --engine dense|interval");
-                        std::process::exit(2);
-                    },
-                );
+                cfg.engine = EngineKind::parse(&next(&args, &mut i))
+                    .unwrap_or_else(|| die("expected --engine dense|interval|fenwick"));
             }
-            a => {
-                eprintln!("unexpected argument {a}");
-                std::process::exit(2);
+            "--solver" => {
+                for name in next(&args, &mut i).split(',') {
+                    let kind = SolverKind::parse(name.trim()).unwrap_or_else(|| {
+                        die(&format!(
+                            "unknown solver `{name}` (known: {})",
+                            SolverKind::ALL.map(|k| k.name()).join(", ")
+                        ))
+                    });
+                    cfg.solvers.push(kind);
+                }
             }
+            "--solver-budget" => {
+                cfg.solver_budget = Budget::parse(&next(&args, &mut i)).unwrap_or_else(|| {
+                    die("expected --solver-budget <nodes>|<ms>ms|<s>s (e.g. 500000,250ms)")
+                });
+            }
+            "--trace" => {
+                let path = next(&args, &mut i);
+                cfg.trace = Some(TraceScenario {
+                    name: path.clone(),
+                    source: TraceSource::CsvFile(path.into()),
+                });
+            }
+            "--serial-timing" => cfg.serial_timing = true,
+            a => die(&format!("unexpected argument {a}")),
         }
         i += 1;
     }
 
-    eprintln!("running grid (scale {scale:?}, seed {seed}, engine {engine}) ...");
-    let cfg = ExperimentConfig {
-        engine,
-        ..ExperimentConfig::new(scale, seed)
-    };
+    eprintln!(
+        "running grid (scale {:?}, seed {}, engine {}, {} solver(s){}{}) ...",
+        cfg.scale,
+        cfg.seed,
+        cfg.engine,
+        cfg.solvers.len(),
+        if cfg.trace.is_some() {
+            ", trace column"
+        } else {
+            ""
+        },
+        if cfg.serial_timing {
+            ", serial timing"
+        } else {
+            ""
+        },
+    );
     let results = run_grid(&cfg);
     eprintln!("{} instances done", results.len());
 
     println!(
         "instance,family,size,size_class,cluster,scenario,deadline,\
-         n_tasks,gc_nodes,asap_makespan,variant,cost,millis"
+         n_tasks,gc_nodes,asap_makespan,kind,algorithm,cost,millis,status,nodes,lower_bound"
     );
     for r in &results {
+        let prefix = format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.spec.id(),
+            r.spec.family.name(),
+            r.spec
+                .scaled_to
+                .map_or_else(|| "real".to_string(), |n| n.to_string()),
+            size_class(r.n_tasks),
+            r.spec.cluster.name(),
+            r.spec.scenario.label(),
+            r.spec.deadline.as_f64(),
+            r.n_tasks,
+            r.gc_nodes,
+            r.asap_makespan,
+        );
         for (i, &v) in r.variants.iter().enumerate() {
             println!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.4}",
-                r.spec.id(),
-                r.spec.family.name(),
-                r.spec
-                    .scaled_to
-                    .map_or_else(|| "real".to_string(), |n| n.to_string()),
-                size_class(r.n_tasks),
-                r.spec.cluster.name(),
-                r.spec.scenario.label(),
-                r.spec.deadline.as_f64(),
-                r.n_tasks,
-                r.gc_nodes,
-                r.asap_makespan,
+                "{prefix},variant,{},{},{:.4},,,",
                 v.name(),
                 r.cost[i],
                 r.millis[i],
+            );
+        }
+        for row in &r.solver_rows {
+            println!(
+                "{prefix},solver,{},{},{:.4},{},{},{}",
+                row.kind.name(),
+                row.cost.map_or_else(String::new, |c| c.to_string()),
+                row.millis,
+                row.status.name(),
+                row.nodes,
+                row.lower_bound.map_or_else(String::new, |c| c.to_string()),
             );
         }
     }

@@ -11,7 +11,7 @@
 use rayon::prelude::*;
 
 use cawo_core::{carbon_cost, Cost, Instance, Schedule, Variant};
-use cawo_exact::{solve_exact, BnbConfig};
+use cawo_exact::{solve_exact, BnbConfig, Budget};
 use cawo_graph::generator::{generate, Family, GeneratorConfig, WeightDistribution};
 use cawo_heft::heft_schedule;
 use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario};
@@ -140,7 +140,7 @@ pub fn run_exact_comparison(cfg: &ExactCmpConfig) -> Vec<ExactCmpResult> {
                 &inst,
                 &profile,
                 BnbConfig {
-                    node_limit: cfg.node_limit,
+                    budget: Budget::nodes(cfg.node_limit),
                     incumbent: best.map(|(_, s)| s),
                 },
             );

@@ -6,6 +6,12 @@
 //! profiles per pair. The full paper grid is 2 clusters × 34 workflows ×
 //! 16 profiles = 1088 instances; `GridScale` selects paper-sized or
 //! CI-sized subsets.
+//!
+//! Beyond the synthetic S1–S4 shapes, a measured carbon-intensity trace
+//! can join the grid as a fifth scenario column
+//! ([`ExperimentConfig::trace`]), and the exact solvers of `cawo_exact`
+//! run as first-class columns next to the heuristics
+//! ([`ExperimentConfig::solvers`]) with a per-row outcome status.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -14,9 +20,12 @@ use std::time::Instant;
 use rayon::prelude::*;
 
 use cawo_core::{carbon_cost, Cost, EngineKind, Instance, RunParams, Variant};
+use cawo_exact::{Budget, SolveError, SolveStatus, SolverKind};
 use cawo_graph::generator::{self, Family, PaperInstance};
 use cawo_heft::heft_schedule;
-use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario, Time};
+use cawo_platform::{
+    Cluster, DeadlineFactor, ProfileConfig, Scenario, Time, TraceConfig, TraceSource,
+};
 
 /// Which of the two paper platforms an instance runs on (§6.1, Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +78,40 @@ impl GridScale {
     }
 }
 
+/// Which power profile an instance runs under: one of the synthetic
+/// S1–S4 shapes, or the measured carbon-intensity trace configured on
+/// the [`ExperimentConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioSpec {
+    /// A synthetic §6.1 scenario shape.
+    Synthetic(Scenario),
+    /// The grid's trace-driven profile ([`ExperimentConfig::trace`]).
+    Trace,
+}
+
+impl ScenarioSpec {
+    /// Column label: `"S1"`…`"S4"` or `"trace"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioSpec::Synthetic(s) => s.label(),
+            ScenarioSpec::Trace => "trace",
+        }
+    }
+}
+
+impl From<Scenario> for ScenarioSpec {
+    fn from(s: Scenario) -> Self {
+        ScenarioSpec::Synthetic(s)
+    }
+}
+
+/// Lets existing `spec.scenario == Scenario::…` filters keep working.
+impl PartialEq<Scenario> for ScenarioSpec {
+    fn eq(&self, other: &Scenario) -> bool {
+        matches!(self, ScenarioSpec::Synthetic(s) if s == other)
+    }
+}
+
 /// One instance of the evaluation grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstanceSpec {
@@ -78,8 +121,8 @@ pub struct InstanceSpec {
     pub scaled_to: Option<usize>,
     /// Target platform.
     pub cluster: ClusterKind,
-    /// Power-profile scenario (S1–S4).
-    pub scenario: Scenario,
+    /// Power-profile scenario (S1–S4 or the trace column).
+    pub scenario: ScenarioSpec,
     /// Deadline tolerance factor.
     pub deadline: DeadlineFactor,
 }
@@ -100,6 +143,16 @@ impl InstanceSpec {
     }
 }
 
+/// A measured carbon-intensity trace promoted to a grid scenario
+/// column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceScenario {
+    /// Short label for logs (the CSV column still reads `trace`).
+    pub name: String,
+    /// Where the samples come from.
+    pub source: TraceSource,
+}
+
 /// Grid configuration.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -109,19 +162,36 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Algorithms to run (defaults to all 17).
     pub variants: Vec<Variant>,
-    /// Incremental cost engine for the `-LS` phase (both produce
-    /// identical schedules; see `cawo_core::engine`).
+    /// Exact solvers to run as additional columns (default: none —
+    /// exact methods are opt-in because they dwarf heuristic runtimes).
+    pub solvers: Vec<SolverKind>,
+    /// Per-solver resource budget.
+    pub solver_budget: Budget,
+    /// Incremental cost engine for the `-LS` phase and the
+    /// engine-generic solvers (all backends produce identical
+    /// schedules; see `cawo_core::engine`).
     pub engine: EngineKind,
+    /// Optional measured trace run as a fifth scenario column.
+    pub trace: Option<TraceScenario>,
+    /// Times variants/solvers one at a time instead of under rayon,
+    /// so per-algorithm wall-clock numbers (Fig. 8/12) are not
+    /// distorted by memory-bandwidth and scheduling contention.
+    pub serial_timing: bool,
 }
 
 impl ExperimentConfig {
-    /// All 17 variants at the given scale, default (interval) engine.
+    /// All 17 variants at the given scale, default (interval) engine,
+    /// no exact solvers, no trace column, parallel timing.
     pub fn new(scale: GridScale, seed: u64) -> Self {
         ExperimentConfig {
             scale,
             seed,
             variants: Variant::ALL.to_vec(),
+            solvers: Vec::new(),
+            solver_budget: Budget::default(),
             engine: EngineKind::default(),
+            trace: None,
+            serial_timing: false,
         }
     }
 
@@ -166,12 +236,22 @@ impl ExperimentConfig {
         }
     }
 
+    /// The scenario columns of this grid: S1–S4, plus the trace column
+    /// when one is configured.
+    pub fn scenarios(&self) -> Vec<ScenarioSpec> {
+        let mut out: Vec<ScenarioSpec> = Scenario::ALL.into_iter().map(Into::into).collect();
+        if self.trace.is_some() {
+            out.push(ScenarioSpec::Trace);
+        }
+        out
+    }
+
     /// The full instance grid.
     pub fn grid(&self) -> Vec<InstanceSpec> {
         let mut specs = Vec::new();
         for wf in self.workflows() {
             for cluster in self.clusters() {
-                for scenario in Scenario::ALL {
+                for scenario in self.scenarios() {
                     for deadline in DeadlineFactor::ALL {
                         specs.push(InstanceSpec {
                             family: wf.family,
@@ -186,6 +266,49 @@ impl ExperimentConfig {
         }
         specs
     }
+}
+
+/// Per-row outcome of one exact-solver column — the heuristic rows'
+/// implicit "ran to completion" does not exist for budgeted or
+/// partially-applicable exact methods, so every solver row carries an
+/// explicit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverRowStatus {
+    /// The solver ran; [`SolveStatus`] says how it concluded.
+    Ran(SolveStatus),
+    /// The method does not apply to this instance (e.g. a uniprocessor
+    /// DP on a multi-unit mapping, a time-indexed model too large).
+    Unsupported,
+    /// The solver reported the instance itself as infeasible.
+    Infeasible,
+}
+
+impl SolverRowStatus {
+    /// Stable lowercase label for CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverRowStatus::Ran(s) => s.name(),
+            SolverRowStatus::Unsupported => "unsupported",
+            SolverRowStatus::Infeasible => "infeasible",
+        }
+    }
+}
+
+/// One exact-solver column evaluated on one instance.
+#[derive(Debug, Clone)]
+pub struct SolverRow {
+    /// Which solver.
+    pub kind: SolverKind,
+    /// Outcome status (always present, even when the solver declined).
+    pub status: SolverRowStatus,
+    /// Carbon cost of the returned schedule (`None` when declined).
+    pub cost: Option<Cost>,
+    /// Proven lower bound, when the method produced one.
+    pub lower_bound: Option<Cost>,
+    /// Explored search nodes / DP cells.
+    pub nodes: u64,
+    /// Wall-clock milliseconds spent in the solver.
+    pub millis: f64,
 }
 
 /// Costs and timings of every variant on one instance.
@@ -205,6 +328,8 @@ pub struct SpecResult {
     pub cost: Vec<Cost>,
     /// Scheduling wall-clock time per variant, in milliseconds.
     pub millis: Vec<f64>,
+    /// Exact-solver columns ([`ExperimentConfig::solvers`] order).
+    pub solver_rows: Vec<SolverRow>,
 }
 
 impl SpecResult {
@@ -230,14 +355,20 @@ impl SpecResult {
 }
 
 /// Per-instance profile seed: decorrelates profiles across the grid but
-/// keeps them reproducible.
+/// keeps them reproducible. Synthetic scenarios keep their pre-trace
+/// discriminants so seeds (and grids) are bit-identical to earlier
+/// revisions.
 fn profile_seed(master: u64, spec: &InstanceSpec) -> u64 {
+    let scenario_code = match spec.scenario {
+        ScenarioSpec::Synthetic(s) => s as u64,
+        ScenarioSpec::Trace => 4,
+    };
     let mut h = master ^ 0xD6E8_FEB8_6659_FD93;
     for x in [
         spec.family as u64 + 1,
         spec.scaled_to.unwrap_or(0) as u64,
         matches!(spec.cluster, ClusterKind::Large) as u64,
-        spec.scenario as u64 + 10,
+        scenario_code + 10,
         spec.deadline.as_f64().to_bits(),
     ] {
         h ^= x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -281,7 +412,33 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
         .collect()
 }
 
-/// Runs all configured variants on one prepared instance.
+/// Builds the power profile of one grid instance (synthetic S1–S4 or
+/// the configured trace).
+pub fn build_profile(
+    cfg: &ExperimentConfig,
+    spec: &InstanceSpec,
+    cluster: &Cluster,
+    asap_makespan: Time,
+) -> cawo_platform::PowerProfile {
+    match spec.scenario {
+        ScenarioSpec::Synthetic(s) => {
+            ProfileConfig::new(s, spec.deadline, profile_seed(cfg.seed, spec))
+                .build(cluster, asap_makespan)
+        }
+        ScenarioSpec::Trace => {
+            let trace = cfg
+                .trace
+                .as_ref()
+                .expect("grid contains a trace column only when one is configured");
+            TraceConfig::new(trace.source.clone(), spec.deadline)
+                .build(cluster, asap_makespan)
+                .unwrap_or_else(|e| panic!("trace scenario `{}`: {e}", trace.name))
+        }
+    }
+}
+
+/// Runs all configured variants (and exact solvers) on one prepared
+/// instance.
 ///
 /// The per-variant loop is itself a rayon `par_iter`: a single large
 /// instance (30k-task workflows at `GridScale::Full`) saturates all
@@ -289,9 +446,10 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
 /// rayon's work stealing balances this inner level against the outer
 /// grid loop of [`run_grid`]. Caveat: under a real (parallel) rayon,
 /// per-variant wall-clock timings include memory-bandwidth and
-/// scheduling contention from concurrently running variants; treat
-/// `SpecResult::millis` as throughput-oriented, and serialise this loop
-/// when paper-grade per-variant timings (Fig. 8/12) are the goal.
+/// scheduling contention from concurrently running variants; set
+/// [`ExperimentConfig::serial_timing`] to time algorithms one at a
+/// time when paper-grade per-variant timings (Fig. 8/12) are the goal,
+/// and treat the default `SpecResult::millis` as throughput-oriented.
 pub fn run_one(
     cfg: &ExperimentConfig,
     spec: &InstanceSpec,
@@ -299,23 +457,59 @@ pub fn run_one(
     cluster: &Cluster,
 ) -> SpecResult {
     let asap_makespan = inst.asap_makespan();
-    let profile = ProfileConfig::new(spec.scenario, spec.deadline, profile_seed(cfg.seed, spec))
-        .build(cluster, asap_makespan);
+    let profile = build_profile(cfg, spec, cluster, asap_makespan);
     let params = RunParams {
         engine: cfg.engine,
         ..RunParams::default()
     };
-    let (cost, millis): (Vec<Cost>, Vec<f64>) = cfg
-        .variants
-        .par_iter()
-        .map(|&v| {
-            let t0 = Instant::now();
-            let sched = v.run_with(inst, &profile, params);
-            let dt = t0.elapsed().as_secs_f64() * 1e3;
-            debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
-            (carbon_cost(inst, &sched, &profile), dt)
-        })
-        .unzip();
+    let run_variant = |&v: &Variant| {
+        let t0 = Instant::now();
+        let sched = v.run_with(inst, &profile, params);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
+        (carbon_cost(inst, &sched, &profile), dt)
+    };
+    let (cost, millis): (Vec<Cost>, Vec<f64>) = if cfg.serial_timing {
+        cfg.variants.iter().map(run_variant).unzip()
+    } else {
+        cfg.variants.par_iter().map(run_variant).unzip()
+    };
+    let run_solver = |&kind: &SolverKind| {
+        let solver = kind.build_with_engine(cfg.engine);
+        let t0 = Instant::now();
+        let outcome = solver.solve(inst, &profile, cfg.solver_budget);
+        let millis = t0.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok(res) => {
+                debug_assert!(res.schedule.validate(inst, profile.deadline()).is_ok());
+                debug_assert_eq!(res.cost, carbon_cost(inst, &res.schedule, &profile));
+                SolverRow {
+                    kind,
+                    status: SolverRowStatus::Ran(res.status),
+                    cost: Some(res.cost),
+                    lower_bound: res.lower_bound,
+                    nodes: res.nodes,
+                    millis,
+                }
+            }
+            Err(e) => SolverRow {
+                kind,
+                status: match e {
+                    SolveError::Unsupported(_) => SolverRowStatus::Unsupported,
+                    SolveError::Infeasible(_) => SolverRowStatus::Infeasible,
+                },
+                cost: None,
+                lower_bound: None,
+                nodes: 0,
+                millis,
+            },
+        }
+    };
+    let solver_rows: Vec<SolverRow> = if cfg.serial_timing {
+        cfg.solvers.iter().map(run_solver).collect()
+    } else {
+        cfg.solvers.par_iter().map(run_solver).collect()
+    };
     SpecResult {
         spec: *spec,
         n_tasks: inst.original_task_count(),
@@ -324,6 +518,7 @@ pub fn run_one(
         variants: cfg.variants.clone(),
         cost,
         millis,
+        solver_rows,
     }
 }
 
@@ -392,7 +587,7 @@ mod tests {
             family: Family::Bacass,
             scaled_to: None,
             cluster: ClusterKind::Small,
-            scenario: Scenario::SolarMorning,
+            scenario: Scenario::SolarMorning.into(),
             deadline: DeadlineFactor::X20,
         };
         let wf = generator::instantiate(
@@ -432,5 +627,92 @@ mod tests {
         assert_eq!(GridScale::parse("medium"), Some(GridScale::Medium));
         assert_eq!(GridScale::parse("full"), Some(GridScale::Full));
         assert_eq!(GridScale::parse("tiny"), None);
+    }
+
+    fn hourly_trace() -> TraceScenario {
+        TraceScenario {
+            name: "test-trace".into(),
+            source: TraceSource::Points(vec![(0, 400.0), (3600, 120.0), (7200, 260.0)]),
+        }
+    }
+
+    #[test]
+    fn trace_column_extends_the_grid() {
+        let mut cfg = ExperimentConfig::new(GridScale::Quick, 1);
+        let base = cfg.grid().len();
+        cfg.trace = Some(hourly_trace());
+        // One extra scenario column: 5/4 of the synthetic grid.
+        assert_eq!(cfg.scenarios().len(), 5);
+        assert_eq!(cfg.grid().len(), base / 4 * 5);
+        let grid = cfg.grid();
+        let traces = grid
+            .iter()
+            .filter(|s| s.scenario == ScenarioSpec::Trace)
+            .count();
+        assert_eq!(traces, base / 4);
+        assert!(grid.iter().any(|s| s.id().contains("/trace/")));
+    }
+
+    #[test]
+    fn trace_scenario_runs_end_to_end_with_solvers() {
+        let mut cfg = ExperimentConfig {
+            variants: vec![Variant::Asap, Variant::PressWRLs],
+            solvers: vec![SolverKind::Bnb, SolverKind::Dp],
+            solver_budget: Budget::nodes(20_000),
+            serial_timing: true,
+            ..ExperimentConfig::new(GridScale::Quick, 5)
+        };
+        cfg.trace = Some(hourly_trace());
+        let spec = InstanceSpec {
+            family: Family::Bacass,
+            scaled_to: None,
+            cluster: ClusterKind::Small,
+            scenario: ScenarioSpec::Trace,
+            deadline: DeadlineFactor::X15,
+        };
+        let wf = generator::instantiate(
+            &PaperInstance {
+                family: spec.family,
+                scaled_to: None,
+            },
+            cfg.seed,
+        );
+        let cluster = spec.cluster.build(cfg.seed);
+        let mapping = heft_schedule(&wf, &cluster);
+        let inst = Instance::build(&wf, &cluster, &mapping);
+        let res = run_one(&cfg, &spec, &inst, &cluster);
+        assert_eq!(res.cost.len(), 2);
+        assert_eq!(res.solver_rows.len(), 2);
+        // BnB runs on any instance (optimal or timed out under the tiny
+        // budget); the uniprocessor DP must decline the paper cluster.
+        let bnb = &res.solver_rows[0];
+        assert_eq!(bnb.kind, SolverKind::Bnb);
+        assert!(matches!(bnb.status, SolverRowStatus::Ran(_)), "{bnb:?}");
+        let heuristic_best = *res.cost.iter().min().unwrap();
+        assert!(bnb.cost.unwrap() <= heuristic_best);
+        let dp = &res.solver_rows[1];
+        assert_eq!(dp.status, SolverRowStatus::Unsupported);
+        assert_eq!(dp.status.name(), "unsupported");
+        assert_eq!(dp.cost, None);
+    }
+
+    #[test]
+    fn solver_status_labels_cover_all_cases() {
+        assert_eq!(SolverRowStatus::Ran(SolveStatus::Optimal).name(), "optimal");
+        assert_eq!(
+            SolverRowStatus::Ran(SolveStatus::TimedOut).name(),
+            "timeout"
+        );
+        assert_eq!(SolverRowStatus::Infeasible.name(), "infeasible");
+    }
+
+    #[test]
+    fn scenario_spec_compares_against_scenarios() {
+        let spec: ScenarioSpec = Scenario::SolarMidday.into();
+        assert_eq!(spec, Scenario::SolarMidday);
+        assert_ne!(spec, Scenario::Constant);
+        assert!(ScenarioSpec::Trace != Scenario::Constant);
+        assert_eq!(spec.label(), "S2");
+        assert_eq!(ScenarioSpec::Trace.label(), "trace");
     }
 }

@@ -25,7 +25,8 @@ pub mod metrics;
 pub mod report;
 
 pub use experiment::{
-    run_grid, ClusterKind, ExperimentConfig, GridScale, InstanceSpec, SpecResult,
+    build_profile, run_grid, ClusterKind, ExperimentConfig, GridScale, InstanceSpec, ScenarioSpec,
+    SolverRow, SolverRowStatus, SpecResult, TraceScenario,
 };
 pub use metrics::{
     boxplot, competition_ranks, cost_mismatches, cost_ratios_vs, median, performance_profile,

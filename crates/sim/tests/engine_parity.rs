@@ -33,7 +33,7 @@ fn dense_and_interval_engines_agree_on_the_small_paper_grid() {
                 family,
                 scaled_to: None,
                 cluster: ClusterKind::Small,
-                scenario,
+                scenario: scenario.into(),
                 deadline,
             };
             let dense_cfg = ExperimentConfig {

@@ -7,7 +7,9 @@
 //! cargo run --release --example exact_vs_heuristic
 //! ```
 
-use cawosched::exact::{check_schedule_against_ilp, dp_polynomial, solve_exact, BnbConfig};
+use cawosched::exact::{
+    check_schedule_against_ilp, dp_polynomial, solve_exact, BnbConfig, Budget, SolverKind,
+};
 use cawosched::graph::generator::WeightDistribution;
 use cawosched::prelude::*;
 
@@ -58,7 +60,7 @@ fn main() {
         &inst,
         &profile,
         BnbConfig {
-            node_limit: 5_000_000,
+            budget: Budget::nodes(5_000_000),
             incumbent: Some(bs),
         },
     );
@@ -98,4 +100,25 @@ fn main() {
         "\nuniprocessor cross-check: polynomial DP = branch-and-bound = {}",
         dp.cost
     );
+
+    // The same comparison through the unified Solver interface: every
+    // registered solver on the same instance with one budget, reporting
+    // its own status ("unsupported" where the method does not apply).
+    println!("\n{:<10} {:>10} {:>10}  note", "solver", "cost", "status");
+    for kind in SolverKind::ALL {
+        match kind
+            .build()
+            .solve(&uni_inst, &uni_profile, Budget::nodes(2_000_000))
+        {
+            Ok(res) => println!(
+                "{:<10} {:>10} {:>10}  {}",
+                kind.name(),
+                res.cost,
+                res.status.name(),
+                res.lower_bound
+                    .map_or(String::new(), |lb| format!("lower bound {lb}")),
+            ),
+            Err(e) => println!("{:<10} {:>10} {:>10}  {e}", kind.name(), "-", "-"),
+        }
+    }
 }

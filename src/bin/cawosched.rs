@@ -36,16 +36,21 @@ fn main() {
 const USAGE: &str = "usage:
   cawosched generate --family <atacseq|bacass|eager|methylseq> [--tasks N] [--seed N]
   cawosched schedule [--dot FILE|-] [--json FILE] [--variant NAME]
-                     [--scenario S1..S4] [--trace CSV] [--deadline 1|1.5|2|3]
-                     [--cluster tiny|small|large] [--engine dense|interval]
-                     [--seed N] [--gantt]
+                     [--solver bnb|dp|dp-pseudo|eschedule|ilp|milp|lp]
+                     [--solver-budget SPEC] [--scenario S1..S4] [--trace CSV]
+                     [--deadline 1|1.5|2|3] [--cluster tiny|small|large]
+                     [--engine dense|interval|fenwick] [--seed N] [--gantt]
   cawosched evaluate [--dot FILE|-] [--json FILE] [--scenario S1..S4]
+                     [--solver NAME[,NAME...]] [--solver-budget SPEC]
                      [--trace CSV] [--deadline ...] [--cluster ...]
-                     [--engine dense|interval] [--seed N]
+                     [--engine dense|interval|fenwick] [--seed N]
 
   --trace replaces the synthetic S1..S4 scenario with a measured
   carbon-intensity trace (CSV rows `time,intensity`); --engine picks the
-  incremental cost backend for -LS variants (default: interval).";
+  incremental cost backend (default: interval). --solver runs an exact
+  solver instead of (schedule) or after (evaluate) the heuristics;
+  --solver-budget caps it with a node count, `250ms`/`2s` wall-clock,
+  or both (`500000,250ms`).";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -59,6 +64,8 @@ struct Options {
     dot: Option<String>,
     json: Option<String>,
     variant: Variant,
+    solvers: Vec<SolverKind>,
+    solver_budget: Budget,
     scenario: Scenario,
     scenario_explicit: bool,
     trace: Option<String>,
@@ -77,6 +84,8 @@ impl Options {
             dot: None,
             json: None,
             variant: Variant::PressWRLs,
+            solvers: Vec::new(),
+            solver_budget: Budget::default(),
             scenario: Scenario::SolarMorning,
             scenario_explicit: false,
             trace: None,
@@ -108,6 +117,18 @@ impl Options {
                 "--variant" => {
                     let v = next(&mut i)?;
                     o.variant = Variant::from_name(&v).ok_or(format!("unknown variant {v}"))?;
+                }
+                "--solver" => {
+                    for name in next(&mut i)?.split(',') {
+                        o.solvers.push(
+                            SolverKind::parse(name.trim())
+                                .ok_or(format!("unknown solver {name}"))?,
+                        );
+                    }
+                }
+                "--solver-budget" => {
+                    let v = next(&mut i)?;
+                    o.solver_budget = Budget::parse(&v).ok_or(format!("bad solver budget {v}"))?;
                 }
                 "--scenario" => {
                     let v = next(&mut i)?;
@@ -226,14 +247,37 @@ fn run_params(o: &Options) -> RunParams {
 
 fn schedule_cmd(o: &Options) {
     let (inst, profile, baseline) = prepare(o);
-    let sched = o.variant.run_with(&inst, &profile, run_params(o));
+    if o.solvers.len() > 1 {
+        die("schedule runs one solver; pass a single --solver name (evaluate accepts a list)");
+    }
+    let (label, sched, cost) = match o.solvers.first() {
+        Some(&kind) => {
+            let solver = kind.build_with_engine(o.engine);
+            match solver.solve(&inst, &profile, o.solver_budget) {
+                Ok(res) => {
+                    eprintln!(
+                        "{kind}: status {}, {} nodes{}",
+                        res.status,
+                        res.nodes,
+                        res.lower_bound
+                            .map_or(String::new(), |lb| format!(", lower bound {lb}")),
+                    );
+                    (kind.name(), res.schedule, res.cost)
+                }
+                Err(e) => die(&format!("solver {kind}: {e}")),
+            }
+        }
+        None => {
+            let sched = o.variant.run_with(&inst, &profile, run_params(o));
+            let cost = carbon_cost(&inst, &sched, &profile);
+            (o.variant.name(), sched, cost)
+        }
+    };
     sched
         .validate(&inst, profile.deadline())
         .unwrap_or_else(|e| die(&format!("internal error — invalid schedule: {e}")));
-    let cost = carbon_cost(&inst, &sched, &profile);
     eprintln!(
-        "{}: carbon cost {cost} (ASAP {baseline}, ratio {:.3})",
-        o.variant.name(),
+        "{label}: carbon cost {cost} (ASAP {baseline}, ratio {:.3})",
         cost as f64 / baseline.max(1) as f64
     );
     if o.gantt {
@@ -253,7 +297,10 @@ fn schedule_cmd(o: &Options) {
 
 fn evaluate_cmd(o: &Options) {
     let (inst, profile, baseline) = prepare(o);
-    println!("{:<14} {:>12} {:>8}", "variant", "carbon_cost", "ratio");
+    println!(
+        "{:<14} {:>12} {:>8} {:>12}",
+        "variant", "carbon_cost", "ratio", "status"
+    );
     println!("{:<14} {:>12} {:>8.3}", "ASAP", baseline, 1.0);
     for v in Variant::CAWOSCHED {
         let sched = v.run_with(&inst, &profile, run_params(o));
@@ -264,5 +311,24 @@ fn evaluate_cmd(o: &Options) {
             cost,
             cost as f64 / baseline.max(1) as f64
         );
+    }
+    for &kind in &o.solvers {
+        let solver = kind.build_with_engine(o.engine);
+        match solver.solve(&inst, &profile, o.solver_budget) {
+            Ok(res) => println!(
+                "{:<14} {:>12} {:>8.3} {:>12}",
+                kind.name(),
+                res.cost,
+                res.cost as f64 / baseline.max(1) as f64,
+                res.status.name(),
+            ),
+            Err(e) => {
+                let label = match e {
+                    cawosched::exact::SolveError::Unsupported(_) => "unsupported",
+                    cawosched::exact::SolveError::Infeasible(_) => "infeasible",
+                };
+                println!("{:<14} {:>12} {:>8} {:>12}", kind.name(), "-", "-", label);
+            }
+        }
     }
 }

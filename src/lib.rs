@@ -12,8 +12,10 @@
 //! * [`core`] — the paper's contribution: communication-enhanced DAG,
 //!   pluggable carbon-cost engines (dense oracle / interval-sparse),
 //!   ASAP baseline, the 16 CaWoSched greedy + local-search variants.
-//! * [`exact`] — uniprocessor dynamic programs, the time-indexed ILP model
-//!   and an exact branch-and-bound solver for optimality references.
+//! * [`exact`] — exact optimality references behind the unified
+//!   `Solver` trait: uniprocessor dynamic programs, the time-indexed
+//!   ILP model, branch-and-bound, simplex/MILP and the E-schedule
+//!   normalisation, each selectable via `SolverKind`.
 //! * [`sim`] — the experiment harness reproducing every table and figure
 //!   of the paper's evaluation.
 //!
@@ -51,6 +53,7 @@ pub use cawo_sim as sim;
 /// Most-used items in one import.
 pub mod prelude {
     pub use cawo_core::{carbon_cost, Cost, EngineKind, Instance, RunParams, Schedule, Variant};
+    pub use cawo_exact::{Budget, SolveStatus, Solver, SolverKind};
     pub use cawo_graph::generator::{generate, Family, GeneratorConfig};
     pub use cawo_graph::{Workflow, WorkflowBuilder};
     pub use cawo_heft::{heft_schedule, Mapping};

@@ -219,11 +219,93 @@ fn schedule_reads_carbon_trace_csv() {
 }
 
 #[test]
+fn schedule_with_exact_solver_reports_status() {
+    let out = bin()
+        .args([
+            "schedule",
+            "--tasks",
+            "12",
+            "--seed",
+            "4",
+            "--deadline",
+            "1.5",
+            "--solver",
+            "bnb",
+            "--solver-budget",
+            "20000,250ms",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bnb: status"), "{stderr}");
+    assert!(
+        stderr.contains("optimal") || stderr.contains("timeout"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("carbon cost"), "{stderr}");
+    // The schedule CSV still comes out on stdout.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().next(), Some("task,start,finish,unit"));
+}
+
+#[test]
+fn evaluate_appends_solver_rows_with_status() {
+    // `bnb` runs on any mapping; the uniprocessor `dp` either runs
+    // (HEFT can legitimately map a small workflow onto one processor)
+    // or declines with an honest `unsupported` status — never fails
+    // the whole evaluation.
+    let out = bin()
+        .args([
+            "evaluate",
+            "--tasks",
+            "12",
+            "--seed",
+            "4",
+            "--deadline",
+            "1.5",
+            "--solver",
+            "bnb,dp",
+            "--solver-budget",
+            "20000,250ms",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 1 + 17 + 2, "{stdout}");
+    let bnb_row = stdout.lines().find(|l| l.starts_with("bnb")).unwrap();
+    assert!(
+        bnb_row.contains("optimal") || bnb_row.contains("timeout"),
+        "{bnb_row}"
+    );
+    let dp_row = stdout.lines().find(|l| l.starts_with("dp")).unwrap();
+    assert!(
+        ["optimal", "timeout", "unsupported"]
+            .iter()
+            .any(|s| dp_row.contains(s)),
+        "{dp_row}"
+    );
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     for args in [
         vec!["schedule", "--variant", "nope"],
         vec!["schedule", "--scenario", "S9"],
         vec!["schedule", "--engine", "nope"],
+        vec!["schedule", "--solver", "gurobi"],
+        vec!["schedule", "--solver", "bnb,dp"],
+        vec!["schedule", "--solver-budget", "fast"],
+        vec!["schedule", "--solver-budget", "-1s"],
         vec!["schedule", "--trace", "/nonexistent/trace.csv"],
         vec!["schedule", "--scenario", "S1", "--trace", "x.csv"],
         vec!["frobnicate"],
