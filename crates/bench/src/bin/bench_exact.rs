@@ -80,6 +80,7 @@ fn bnb_row<E: CostEngine>(inst: &Instance, profile: &PowerProfile, horizon: Time
             BnbConfig {
                 budget: Budget::nodes(BNB_NODES),
                 incumbent: None,
+                ..BnbConfig::default()
             },
         );
         (

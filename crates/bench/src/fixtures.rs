@@ -38,6 +38,49 @@ pub fn fixture(family: Family, tasks: usize, deadline: DeadlineFactor, seed: u64
 /// never desynchronise.
 pub const COST_ENGINE_HORIZONS: [Time; 3] = [1_000, 10_000, 100_000];
 
+/// Uniprocessor chain fixture for the LP-engine benches (`lp_engine`
+/// criterion bench, `bench_lp` emitter — one definition so the two
+/// artifacts measure identical instances): `n` chained tasks with
+/// cyclic execution times `2, 3, 4, …` on one unit, and a profile of
+/// `intervals` equal slices cycling through `budget_cycle`.
+pub fn lp_chain_fixture(
+    n: usize,
+    slack: Time,
+    intervals: usize,
+    budget_cycle: &[u64],
+) -> (Instance, PowerProfile) {
+    let mut b = DagBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i as u32 - 1, i as u32);
+    }
+    let exec: Vec<Time> = (0..n).map(|i| 2 + (i as Time % 3)).collect();
+    let total: Time = exec.iter().sum();
+    let inst = Instance::from_raw(
+        b.build().unwrap(),
+        exec,
+        vec![0; n],
+        vec![UnitInfo {
+            p_idle: 1,
+            p_work: 5,
+            is_link: false,
+        }],
+        0,
+    );
+    let horizon = total + slack;
+    let j = intervals.min(horizon as usize).max(2);
+    let mut bounds = vec![0];
+    for k in 1..=j {
+        let t = horizon * k as Time / j as Time;
+        if t > *bounds.last().unwrap() {
+            bounds.push(t);
+        }
+    }
+    let budgets: Vec<u64> = (0..bounds.len() - 1)
+        .map(|k| budget_cycle[k % budget_cycle.len()])
+        .collect();
+    (inst, PowerProfile::from_parts(bounds, budgets))
+}
+
 /// Task count for the cost-engine fixtures (constant while the horizon
 /// grows).
 pub const COST_ENGINE_TASKS: usize = 8;

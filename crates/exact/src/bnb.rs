@@ -18,6 +18,14 @@
 //! seeded with a heuristic schedule as the incumbent; candidate starts
 //! are explored in increasing order of their immediate cost
 //! contribution to reach good incumbents quickly.
+//!
+//! By default ([`CandidateMode::Auto`]) the branching factor on
+//! single-chain instances is cut from `O(T)` integer starts to the
+//! `O(n·J)` boundary-aligned candidate set of Appendix A.2 — lossless
+//! by Lemma 4.2, so the optimality claim stands. Full enumeration
+//! remains available ([`CandidateMode::Full`]) as the differential-
+//! testing opt-in, and the unproven multi-unit restriction
+//! ([`CandidateMode::Boundary`]) demotes its result to *feasible*.
 
 use std::time::Instant;
 
@@ -32,6 +40,26 @@ use crate::solver::{
     heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
 };
 
+/// Which start times a node may branch over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateMode {
+    /// Boundary-aligned candidates where that is provably lossless
+    /// (single-chain instances, via the Appendix A.2 candidate set of
+    /// Lemma 4.2 — `O(n·J)` distinct starts per node instead of
+    /// `O(T)`); full enumeration elsewhere. The default.
+    #[default]
+    Auto,
+    /// Every integer start in `[EST, LST]` — the differential-testing
+    /// opt-in (and the only provably exact set on multi-unit
+    /// instances).
+    Full,
+    /// Boundary-aligned candidates everywhere. On single-chain
+    /// instances this equals `Auto`; on multi-unit instances the
+    /// restriction has no losslessness proof, so an exhausted search is
+    /// reported as *feasible*, never optimal.
+    Boundary,
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Default)]
 pub struct BnbConfig {
@@ -40,6 +68,8 @@ pub struct BnbConfig {
     pub budget: Budget,
     /// Warm-start incumbent (e.g. the best heuristic schedule).
     pub incumbent: Option<Schedule>,
+    /// Candidate-start restriction (see [`CandidateMode`]).
+    pub candidates: CandidateMode,
 }
 
 impl BnbConfig {
@@ -47,7 +77,7 @@ impl BnbConfig {
     pub fn with_node_limit(node_limit: u64) -> Self {
         BnbConfig {
             budget: Budget::nodes(node_limit),
-            incumbent: None,
+            ..BnbConfig::default()
         }
     }
 }
@@ -59,8 +89,11 @@ pub struct BnbResult {
     pub cost: Cost,
     /// Schedule achieving it.
     pub schedule: Schedule,
-    /// Whether the search space was exhausted (result proven optimal).
+    /// Whether the result is proven optimal (search space exhausted
+    /// *and* the candidate restriction is lossless on this instance).
     pub optimal: bool,
+    /// Whether the (possibly restricted) search space was exhausted.
+    pub exhausted: bool,
     /// Explored search nodes.
     pub nodes: u64,
 }
@@ -69,6 +102,8 @@ struct SearchState<'a, E: CostEngine> {
     inst: &'a Instance,
     /// Static LST per node (deadline-based).
     lst: Vec<Time>,
+    /// Per-node sorted candidate starts (None = full enumeration).
+    cand_starts: Option<Vec<Vec<Time>>>,
     /// Incremental cost engine tracking the *placed* tasks only.
     engine: E,
     /// Cost of the placed prefix (admissible lower bound).
@@ -140,9 +175,26 @@ impl<'a, E: CostEngine> SearchState<'a, E> {
         }
         // Candidates ordered by immediate cost contribution (cheapest
         // first), ties by earliest start.
-        let mut cands: Vec<(i64, Time)> = (est..=lst)
-            .map(|s| (self.engine.place_delta(s, len, w), s))
-            .collect();
+        let mut cands: Vec<(i64, Time)> = match &self.cand_starts {
+            None => (est..=lst)
+                .map(|s| (self.engine.place_delta(s, len, w), s))
+                .collect(),
+            Some(sets) => {
+                let set = &sets[v as usize];
+                let from = set.partition_point(|&s| s < est);
+                let to = set.partition_point(|&s| s <= lst);
+                let mut out: Vec<(i64, Time)> = set[from..to]
+                    .iter()
+                    .map(|&s| (self.engine.place_delta(s, len, w), s))
+                    .collect();
+                // The pressed-left start is always a candidate: it keeps
+                // the restricted tree able to complete any prefix.
+                if set[from..to].binary_search(&est).is_err() {
+                    out.push((self.engine.place_delta(est, len, w), est));
+                }
+                out
+            }
+        };
         cands.sort_unstable();
         for (delta, s) in cands {
             if self.prefix_cost + delta >= self.best_cost {
@@ -190,6 +242,43 @@ pub fn solve_exact_on<E: CostEngine>(
     let n = inst.node_count();
     let lst: Vec<Time> = (0..n as NodeId).map(|v| bounds.lst(v)).collect();
 
+    // Candidate-start restriction. On a single chain the Appendix A.2
+    // candidate set is provably lossless (Lemma 4.2), so `Auto` applies
+    // it and keeps the optimality claim; the unproven multi-unit
+    // restriction only runs when explicitly opted into via `Boundary`,
+    // and then renounces the claim.
+    let chain = crate::solver::single_chain(inst).ok();
+    let (cand_starts, lossless) = match (config.candidates, &chain) {
+        (CandidateMode::Full, _) => (None, true),
+        (CandidateMode::Auto, None) => (None, true),
+        (_, Some((order, _))) => {
+            let ends = crate::dp::candidate_end_times(order, inst, profile);
+            let mut sets: Vec<Vec<Time>> = vec![Vec::new(); n];
+            for (i, &v) in order.iter().enumerate() {
+                sets[v as usize] = ends[i].iter().map(|&e| e - inst.exec(v)).collect();
+            }
+            (Some(sets), true)
+        }
+        (CandidateMode::Boundary, None) => {
+            let mut sets: Vec<Vec<Time>> = vec![Vec::new(); n];
+            for (v, set) in sets.iter_mut().enumerate() {
+                let w = inst.exec(v as NodeId);
+                let mut s: Vec<Time> = profile
+                    .boundaries()
+                    .iter()
+                    .flat_map(|&b| [Some(b), b.checked_sub(w)])
+                    .flatten()
+                    .filter(|&t| t + w <= horizon)
+                    .collect();
+                s.push(bounds.lst(v as NodeId));
+                s.sort_unstable();
+                s.dedup();
+                *set = s;
+            }
+            (Some(sets), false)
+        }
+    };
+
     // Incumbent: provided schedule or ASAP, priced through the engine.
     let incumbent = config.incumbent.unwrap_or_else(|| inst.asap_schedule());
     incumbent
@@ -211,6 +300,7 @@ pub fn solve_exact_on<E: CostEngine>(
     let mut state = SearchState {
         inst,
         lst,
+        cand_starts,
         engine,
         prefix_cost: base_cost,
         start: vec![0; n],
@@ -235,17 +325,22 @@ pub fn solve_exact_on<E: CostEngine>(
     BnbResult {
         cost: state.best_cost as Cost,
         schedule,
-        optimal: state.exhausted,
+        optimal: state.exhausted && lossless,
+        exhausted: state.exhausted,
         nodes: state.nodes,
     }
 }
 
 /// The branch-and-bound method as a [`Solver`]: optimal on any
-/// instance, subject to the budget.
+/// instance, subject to the budget (with [`CandidateMode::Auto`]
+/// pruning the branching factor to `O(n·J)` where that is provably
+/// lossless).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BnbSolver {
     /// Cost-engine backend pricing the placements.
     pub engine: EngineKind,
+    /// Candidate-start restriction (default [`CandidateMode::Auto`]).
+    pub candidates: CandidateMode,
 }
 
 impl Solver for BnbSolver {
@@ -264,6 +359,7 @@ impl Solver for BnbSolver {
         let config = BnbConfig {
             budget,
             incumbent: Some(incumbent),
+            candidates: self.candidates,
         };
         let res = match self.engine {
             EngineKind::Dense => solve_exact_on::<DenseGrid>(inst, profile, config),
@@ -276,6 +372,10 @@ impl Solver for BnbSolver {
             cost: res.cost,
             status: if res.optimal {
                 SolveStatus::Optimal
+            } else if res.exhausted {
+                // The restricted (unproven) search space was exhausted:
+                // a valid schedule without an optimality proof.
+                SolveStatus::Feasible
             } else {
                 SolveStatus::TimedOut
             },
@@ -378,6 +478,7 @@ mod tests {
             BnbConfig {
                 budget: Budget::nodes(5_000_000),
                 incumbent: best,
+                ..BnbConfig::default()
             },
         );
         assert!(res.cost <= best_cost);
@@ -498,6 +599,94 @@ mod tests {
             BnbSolver::default().solve(&inst, &short, Budget::default()),
             Err(crate::solver::SolveError::Infeasible(_))
         ));
+    }
+
+    #[test]
+    fn boundary_candidates_match_full_enumeration_on_chains() {
+        // The A.2 candidate restriction must be lossless on chains
+        // (Lemma 4.2): Auto and Full agree bit-exactly on the optimum,
+        // with Auto exploring no more nodes.
+        let mut rng = StdRng::seed_from_u64(2026);
+        for trial in 0..20 {
+            let n = rng.gen_range(1..5);
+            let exec: Vec<Time> = (0..n).map(|_| rng.gen_range(1..4)).collect();
+            let total: Time = exec.iter().sum();
+            let inst = chain_instance(exec, rng.gen_range(0..3), rng.gen_range(1..6));
+            let horizon = total + rng.gen_range(1..=total + 4);
+            let mid = rng.gen_range(1..horizon);
+            let profile = PowerProfile::from_parts(
+                vec![0, mid, horizon],
+                vec![rng.gen_range(0..8), rng.gen_range(0..8)],
+            );
+            let full = solve_exact(
+                &inst,
+                &profile,
+                BnbConfig {
+                    candidates: CandidateMode::Full,
+                    ..BnbConfig::default()
+                },
+            );
+            let auto = solve_exact(&inst, &profile, BnbConfig::default());
+            assert!(full.optimal && auto.optimal, "trial {trial}");
+            assert_eq!(full.cost, auto.cost, "trial {trial}");
+            assert!(
+                auto.nodes <= full.nodes,
+                "trial {trial}: restricted tree explored more nodes \
+                 ({} vs {})",
+                auto.nodes,
+                full.nodes
+            );
+        }
+    }
+
+    #[test]
+    fn multiunit_boundary_mode_is_honest() {
+        // Two independent tasks on two units: the boundary restriction
+        // has no losslessness proof there, so even an exhausted search
+        // must not claim optimality — and the solver wrapper reports it
+        // as feasible.
+        let dag = DagBuilder::new(2).build().unwrap();
+        let inst = Instance::from_raw(
+            dag,
+            vec![3, 3],
+            vec![0, 1],
+            vec![
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 4,
+                    is_link: false,
+                },
+                UnitInfo {
+                    p_idle: 0,
+                    p_work: 4,
+                    is_link: false,
+                },
+            ],
+            0,
+        );
+        let profile = PowerProfile::from_parts(vec![0, 5, 10], vec![4, 0]);
+        let full = solve_exact(&inst, &profile, BnbConfig::default());
+        assert!(full.optimal, "Auto = Full on multi-unit instances");
+        let restricted = solve_exact(
+            &inst,
+            &profile,
+            BnbConfig {
+                candidates: CandidateMode::Boundary,
+                ..BnbConfig::default()
+            },
+        );
+        assert!(restricted.exhausted);
+        assert!(!restricted.optimal, "no proof on multi-unit instances");
+        assert!(restricted.cost >= full.cost, "still a valid schedule");
+        use crate::solver::Solver;
+        let res = BnbSolver {
+            candidates: CandidateMode::Boundary,
+            ..BnbSolver::default()
+        }
+        .solve(&inst, &profile, Budget::default())
+        .unwrap();
+        assert_eq!(res.status, crate::solver::SolveStatus::Feasible);
+        assert_eq!(res.lower_bound, None);
     }
 
     #[test]

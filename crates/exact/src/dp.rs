@@ -158,7 +158,9 @@ fn dp_pseudo_budgeted(
 /// Candidate end times for each task position per Appendix A.2: for
 /// every block `[r, s]` containing position `u` and every boundary
 /// `e ∈ E`, the end of `u` when the block starts or ends at `e`.
-fn candidate_end_times(
+/// (Also drives the branch-and-bound's boundary-aligned candidate
+/// restriction on single-chain instances — see [`crate::bnb`].)
+pub(crate) fn candidate_end_times(
     chain: &[NodeId],
     inst: &Instance,
     profile: &PowerProfile,

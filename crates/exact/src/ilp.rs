@@ -477,23 +477,33 @@ pub fn check_schedule_against_ilp(
 }
 
 /// Checker-certified branch-and-bound as a [`Solver`](crate::solver::Solver): runs the
-/// combinatorial search, then materialises the Appendix A.4 model and
-/// verifies that the returned schedule satisfies every ILP constraint
-/// with an objective equal to the reported cost — the executable link
-/// between the combinatorial optimum and the paper's ILP formulation.
+/// combinatorial search, then verifies that the returned schedule
+/// satisfies the Appendix A.4 formulation with an objective equal to
+/// the reported cost — the executable link between the combinatorial
+/// optimum and the paper's ILP formulation.
 ///
-/// The certificate requires building the `Θ(N·T)`-variable model, so
-/// instances whose model would exceed `max_vars` are declined as
+/// Small instances are certified against the *literal* dense model
+/// ([`check_schedule_against_ilp`]); instances whose dense model would
+/// exceed `max_vars` are certified against the equivalent compact
+/// sparse formulation ([`crate::sparse_model::SparseA4Model`]) instead
+/// of being declined, which carries the certificate into the 200-task
+/// regime. Only models beyond the sparse guard return
 /// [`SolveError::Unsupported`](crate::solver::SolveError::Unsupported).
 #[derive(Debug, Clone, Copy)]
 pub struct IlpSolver {
-    /// Refuse certification models with more variables than this.
+    /// Dense-certificate ceiling (the literal model above this size is
+    /// certified through the sparse formulation instead).
     pub max_vars: usize,
+    /// Sparse-certificate ceiling (columns of the compact model).
+    pub max_sparse_cols: usize,
 }
 
 impl Default for IlpSolver {
     fn default() -> Self {
-        IlpSolver { max_vars: 200_000 }
+        IlpSolver {
+            max_vars: 200_000,
+            max_sparse_cols: 4_000_000,
+        }
     }
 }
 
@@ -509,18 +519,32 @@ impl crate::solver::Solver for IlpSolver {
         budget: crate::solver::Budget,
     ) -> Result<crate::solver::SolveResult, crate::solver::SolveError> {
         use crate::solver::SolveError;
+        crate::solver::require_feasible(inst, profile)?;
         let n = inst.node_count();
         let t = profile.deadline() as usize;
         let var_count = IlpModel::var_count_for(n, t);
-        if var_count > self.max_vars {
-            return Err(SolveError::Unsupported(format!(
-                "certification model needs {var_count} variables (cap {})",
-                self.max_vars
-            )));
+        let use_dense = var_count <= self.max_vars;
+        if !use_dense {
+            // Decline oversized instances *before* spending the search
+            // budget: both size estimates are cheap.
+            let est_cols = crate::sparse_model::SparseA4Model::column_count_for(inst, profile);
+            if est_cols > self.max_sparse_cols {
+                return Err(SolveError::Unsupported(format!(
+                    "certification model needs {var_count} dense variables and ≈{est_cols} \
+                     sparse columns (caps {} / {})",
+                    self.max_vars, self.max_sparse_cols
+                )));
+            }
         }
         let res = crate::bnb::BnbSolver::default().solve(inst, profile, budget)?;
-        let certified = check_schedule_against_ilp(inst, profile, &res.schedule)
-            .map_err(SolveError::Infeasible)?;
+        let certified = if use_dense {
+            check_schedule_against_ilp(inst, profile, &res.schedule)
+                .map_err(SolveError::Infeasible)?
+        } else {
+            crate::sparse_model::SparseA4Model::build(inst, profile)
+                .check_schedule(inst, profile, &res.schedule)
+                .map_err(SolveError::Infeasible)?
+        };
         assert_eq!(
             certified, res.cost,
             "ILP certificate disagrees with the search optimum"
@@ -627,6 +651,17 @@ mod tests {
             check_schedule_against_ilp(&inst, &profile, &sched).unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn ilp_solver_reports_infeasible_deadlines() {
+        use crate::solver::{Budget, SolveError, Solver};
+        let inst = chain2();
+        let short = PowerProfile::uniform(3, 5); // deadline < ASAP makespan
+        assert!(matches!(
+            IlpSolver::default().solve(&inst, &short, Budget::default()),
+            Err(SolveError::Infeasible(_))
+        ));
     }
 
     #[test]

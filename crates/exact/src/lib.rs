@@ -15,9 +15,13 @@
 //! * [`eschedule`] — Lemma 4.2's block-shift transformation as
 //!   executable code (any uniprocessor schedule → an E-schedule of equal
 //!   or lower cost),
-//! * [`simplex`] / [`milp`] — a from-scratch two-phase simplex and a
-//!   branch-and-bound MILP solver that *solve* the Appendix A.4 model on
-//!   tiny instances, cross-validating the combinatorial solver,
+//! * [`simplex`] / [`milp`] — a from-scratch dense two-phase simplex
+//!   (the differential-testing oracle) and the branch-and-bound MILP
+//!   solvers over the Appendix A.4 model: dense for tiny cross-checks,
+//!   sparse (via [`cawo_lp`]) for the paper's 200-task regime,
+//! * [`sparse_model`] — the compact windowed A.4 formulation
+//!   (EST/LST-restricted start binaries, aggregated precedence, implied
+//!   brown power) that [`cawo_lp`]'s revised simplex solves at scale,
 //! * [`reduction`] — the 3-Partition gadget of the strong NP-completeness
 //!   proof (§4.2 / Appendix A.3), used as an adversarial test generator.
 //!
@@ -42,12 +46,14 @@ pub mod milp;
 pub mod reduction;
 pub mod simplex;
 pub mod solver;
+pub mod sparse_model;
 
-pub use bnb::{solve_exact, solve_exact_on, BnbConfig, BnbResult, BnbSolver};
+pub use bnb::{solve_exact, solve_exact_on, BnbConfig, BnbResult, BnbSolver, CandidateMode};
 pub use dp::{dp_polynomial, dp_pseudo_polynomial, DpResult, DpSolver};
 pub use eschedule::{is_e_schedule, to_e_schedule, to_e_schedule_on, EscheduleSolver};
 pub use ilp::{check_schedule_against_ilp, IlpModel, IlpSolver};
-pub use milp::{solve_ilp_model, MilpConfig, MilpOutcome, MilpSolver};
+pub use milp::{solve_ilp_model, MilpConfig, MilpDenseSolver, MilpOutcome, MilpSolver};
 pub use reduction::three_partition_instance;
-pub use simplex::{solve_lp, LpCmp, LpOutcome, LpProblem, LpSolver};
+pub use simplex::{solve_lp, LpCmp, LpDenseSolver, LpOutcome, LpProblem};
 pub use solver::{Budget, SolveError, SolveResult, SolveStatus, Solver, SolverKind};
+pub use sparse_model::{sparse_from_lp_problem, LpSolver, SparseA4Model};

@@ -1,28 +1,41 @@
-//! Branch-and-bound MILP solver on top of the [`simplex`](crate::simplex)
-//! engine — the in-repo replacement for Gurobi on the Appendix A.4 model.
+//! MILP solvers for the Appendix A.4 model.
 //!
-//! The solver relaxes integrality, solves the LP, picks the most
-//! fractional integer variable and branches `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`
-//! depth-first, pruning on the incumbent. Time-indexed scheduling models
-//! have notoriously weak LP relaxations (the Big-M rows of (17)–(20)
-//! barely cut), so this is only practical for the *tiny* instances the
-//! optimality comparison uses — which is exactly the role Gurobi plays
-//! in the paper. [`solve_ilp_model`] wires it to [`IlpModel`]; a property
-//! test confirms the MILP optimum equals the combinatorial
-//! branch-and-bound optimum.
+//! Two engines live here:
+//!
+//! * the historical **dense** branch-and-bound over
+//!   [`crate::simplex::solve_lp`] ([`solve_milp`], [`MilpDenseSolver`])
+//!   — most-fractional variable dichotomy on the full-tableau simplex.
+//!   Quadratic tableau memory caps it at toy sizes, which is exactly
+//!   why it survives: it is the differential-testing oracle for
+//!   everything below.
+//! * the **sparse** branch-and-bound ([`MilpSolver`], registry name
+//!   `milp`) on the compact windowed model of
+//!   [`crate::sparse_model::SparseA4Model`], solved by `cawo_lp`'s
+//!   revised simplex. Nodes *warm-start* from the incumbent basis
+//!   (branching only changes column bounds, never the matrix), and
+//!   branching is an E-schedule-flavoured *window split*: pick the task
+//!   whose fractional start mass is most dispersed, split its window at
+//!   the fractional mean. This is what lifts `--solver milp` to the
+//!   paper's 200-task Fig. 7 regime.
+//!
+//! Degenerate models no longer panic: an unbounded relaxation surfaces
+//! as [`MilpOutcome::Unbounded`] / [`crate::solver::SolveError`] so an
+//! experiment-grid run records a status instead of crashing.
 
 use std::time::{Duration, Instant};
 
 use cawo_core::Instance;
-use cawo_platform::PowerProfile;
+use cawo_lp::{LpStatus, SimplexOptions, SimplexSolver};
+use cawo_platform::{PowerProfile, Time};
 
 use crate::ilp::{check_schedule_against_ilp, Cmp, Domain, IlpModel};
 use crate::simplex::{solve_lp, LpCmp, LpOutcome, LpProblem};
 use crate::solver::{
     heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
 };
+use crate::sparse_model::{ceil_bound, engine_cost, SparseA4Model};
 
-/// Configuration of the MILP search.
+/// Configuration of the dense MILP search.
 #[derive(Debug, Clone, Copy)]
 pub struct MilpConfig {
     /// Maximum explored branch-and-bound nodes.
@@ -64,6 +77,10 @@ pub enum MilpOutcome {
     Infeasible,
     /// Node limit hit without any incumbent.
     Unknown,
+    /// Some relaxation was unbounded — the model itself is degenerate
+    /// (a bounded MILP's relaxations are bounded). Reported instead of
+    /// panicking so a grid run records an honest status.
+    Unbounded,
 }
 
 /// Solves a MILP: the base problem plus a set of integer variables.
@@ -86,11 +103,15 @@ pub fn solve_milp_counted(
         nodes: u64,
         best: Option<(f64, Vec<f64>)>,
         exhausted: bool,
+        unbounded: bool,
     }
 
     impl State<'_> {
         /// `bounds`: extra (var, lo, hi) rows accumulated by branching.
         fn dfs(&mut self, bounds: &mut Vec<(usize, f64, f64)>) {
+            if self.unbounded {
+                return;
+            }
             self.nodes += 1;
             if self.nodes > self.config.node_limit
                 || self.deadline.is_some_and(|d| Instant::now() >= d)
@@ -111,8 +132,11 @@ pub fn solve_milp_counted(
                 LpOutcome::Infeasible => return,
                 LpOutcome::Unbounded => {
                     // An unbounded relaxation of a bounded MILP can only
-                    // happen with unbounded integer vars; treat as error.
-                    panic!("MILP relaxation unbounded — model must be bounded")
+                    // happen with unbounded integer vars; report the
+                    // degenerate model instead of crashing the run.
+                    self.unbounded = true;
+                    self.exhausted = false;
+                    return;
                 }
                 LpOutcome::Optimal {
                     objective,
@@ -181,20 +205,22 @@ pub fn solve_milp_counted(
         nodes: 0,
         best: None,
         exhausted: true,
+        unbounded: false,
     };
     state.dfs(&mut Vec::new());
     let nodes = state.nodes;
-    let outcome = match (state.best, state.exhausted) {
-        (Some((objective, solution)), true) => MilpOutcome::Optimal {
+    let outcome = match (state.unbounded, state.best, state.exhausted) {
+        (true, _, _) => MilpOutcome::Unbounded,
+        (false, Some((objective, solution)), true) => MilpOutcome::Optimal {
             objective,
             solution,
         },
-        (Some((objective, solution)), false) => MilpOutcome::Feasible {
+        (false, Some((objective, solution)), false) => MilpOutcome::Feasible {
             objective,
             solution,
         },
-        (None, true) => MilpOutcome::Infeasible,
-        (None, false) => MilpOutcome::Unknown,
+        (false, None, true) => MilpOutcome::Infeasible,
+        (false, None, false) => MilpOutcome::Unknown,
     };
     (outcome, nodes)
 }
@@ -232,40 +258,38 @@ pub fn lp_relaxation(model: &IlpModel) -> (LpProblem, Vec<usize>) {
     (lp, integer_vars)
 }
 
-/// Solves the full Appendix A.4 model. The objective is integral, so the
-/// result is rounded to the nearest integer.
+/// Solves the full Appendix A.4 model with the dense engine. The
+/// objective is integral, so the result is rounded to the nearest
+/// integer.
 pub fn solve_ilp_model(model: &IlpModel, config: MilpConfig) -> MilpOutcome {
     let (lp, ints) = lp_relaxation(model);
     solve_milp(&lp, &ints, config)
 }
 
-/// The Appendix A.4 model solved end-to-end as a [`Solver`]: builds the
-/// time-indexed ILP, relaxes it, runs the simplex-based branch-and-
-/// bound, extracts the schedule from the `s(v,t)` binaries and
-/// re-certifies it against the ILP checker. This is the literal Gurobi
-/// substitute — and, like the paper's Gurobi runs, it only scales to
-/// tiny instances, so oversized models are declined as
+/// The literal Appendix A.4 model solved by the dense tableau engine —
+/// kept as the registry's differential-testing oracle (`milp-dense`).
+/// Like the paper's Gurobi runs it only scales to tiny instances, so
+/// oversized models are declined as
 /// [`SolveError::Unsupported`] rather than ground through.
 #[derive(Debug, Clone, Copy)]
-pub struct MilpSolver {
+pub struct MilpDenseSolver {
     /// Refuse models with more variables than this. The constraint
     /// count grows faster than the variable count (eq. (11) alone is
     /// `Σ_v ω(v)·(T − ω(v))` rows) and the dense tableau is quadratic
     /// in rows × columns *per B&B node*, so the default is deliberately
-    /// conservative — mirroring the paper, which also only runs its
-    /// ILP on the smallest instances.
+    /// conservative.
     pub max_vars: usize,
 }
 
-impl Default for MilpSolver {
+impl Default for MilpDenseSolver {
     fn default() -> Self {
-        MilpSolver { max_vars: 300 }
+        MilpDenseSolver { max_vars: 300 }
     }
 }
 
-impl Solver for MilpSolver {
+impl Solver for MilpDenseSolver {
     fn name(&self) -> &'static str {
-        "milp"
+        "milp-dense"
     }
 
     fn solve(
@@ -314,6 +338,11 @@ impl Solver for MilpSolver {
                     "A.4 model has no integer point — model/instance mismatch".into(),
                 ));
             }
+            MilpOutcome::Unbounded => {
+                return Err(SolveError::Unsupported(
+                    "MILP relaxation unbounded — model must be bounded".into(),
+                ));
+            }
         };
         let schedule = model.extract_schedule(&solution).ok_or_else(|| {
             SolveError::Infeasible("MILP solution encodes no complete schedule".into())
@@ -329,9 +358,344 @@ impl Solver for MilpSolver {
             status: if proved {
                 SolveStatus::Optimal
             } else {
-                SolveStatus::TimedOut
+                SolveStatus::Feasible
             },
             nodes,
+        })
+    }
+}
+
+/// The sparse MILP solver (registry name `milp`): the compact
+/// [`SparseA4Model`] solved by branch-and-bound over `cawo_lp`'s
+/// revised simplex with warm-started nodes and window-split branching.
+///
+/// The search is seeded with the strongest heuristic incumbent, so even
+/// a truncated run returns an integer-feasible schedule; a completed
+/// root relaxation attaches a proven lower bound and certifies
+/// optimality outright whenever the incumbent meets it.
+#[derive(Debug, Clone, Copy)]
+pub struct MilpSolver {
+    /// Refuse models with more columns than this (memory guard).
+    pub max_cols: usize,
+    /// Integrality tolerance on the `s` columns.
+    pub int_tol: f64,
+}
+
+impl Default for MilpSolver {
+    fn default() -> Self {
+        MilpSolver {
+            max_cols: 2_000_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// One pending DFS operation of the sparse branch-and-bound.
+enum Op {
+    /// Restrict task `v`'s window to `[lo, hi]` (zeroing the start
+    /// columns of the inclusive `forbid` range), solve, and possibly
+    /// push children.
+    Enter {
+        v: u32,
+        lo: Time,
+        hi: Time,
+        forbid: (Time, Time),
+    },
+    /// Undo the restriction on the way back up (restoring the same
+    /// range to the model's stored column bounds).
+    Leave {
+        v: u32,
+        lo: Time,
+        hi: Time,
+        forbid: (Time, Time),
+    },
+}
+
+impl MilpSolver {
+    /// Picks the branching task and split point from a fractional
+    /// relaxation solution: the task whose start mass is most
+    /// dispersed, split at its fractional mean (clamped so both
+    /// children exclude support). Returns `None` when every task is
+    /// integral.
+    fn select_branch(
+        &self,
+        model: &SparseA4Model,
+        windows: &[(Time, Time)],
+        x: &[f64],
+    ) -> Option<(u32, Time, f64)> {
+        let mut best: Option<(u32, Time, f64, f64)> = None; // (v, t*, mass_left, spread)
+        for v in 0..model.node_count() as u32 {
+            let (lo, hi) = windows[v as usize];
+            if lo == hi {
+                continue;
+            }
+            let mut mean = 0.0f64;
+            let mut supp_lo = Time::MAX;
+            let mut supp_hi = 0;
+            for t in lo..=hi {
+                let xv = x[model.s_col(v, t) as usize];
+                if xv > self.int_tol {
+                    mean += xv * t as f64;
+                    supp_lo = supp_lo.min(t);
+                    supp_hi = supp_hi.max(t);
+                }
+            }
+            if supp_lo >= supp_hi {
+                continue; // integral (all mass on one start)
+            }
+            let mut spread = 0.0f64;
+            let mut mass_left = 0.0f64;
+            let split = (mean.floor() as Time).clamp(supp_lo, supp_hi - 1);
+            for t in lo..=hi {
+                let xv = x[model.s_col(v, t) as usize];
+                if xv > self.int_tol {
+                    spread += xv * (t as f64 - mean).abs();
+                    if t <= split {
+                        mass_left += xv;
+                    }
+                }
+            }
+            if best.as_ref().is_none_or(|&(_, _, _, s)| spread > s) {
+                best = Some((v, split, mass_left, spread));
+            }
+        }
+        best.map(|(v, split, mass_left, _)| (v, split, mass_left))
+    }
+}
+
+impl Solver for MilpSolver {
+    fn name(&self) -> &'static str {
+        "milp"
+    }
+
+    fn solve(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+    ) -> Result<SolveResult, SolveError> {
+        require_feasible(inst, profile)?;
+        // Guard before building: the estimate bounds the real column
+        // count from above, so nothing oversized is ever allocated.
+        let est_cols = SparseA4Model::column_count_for(inst, profile);
+        if est_cols > self.max_cols {
+            return Err(SolveError::Unsupported(format!(
+                "sparse model needs ≈{est_cols} columns (cap {})",
+                self.max_cols
+            )));
+        }
+        let model = SparseA4Model::build(inst, profile);
+        let deadline = budget.deadline_from_now();
+        let opts_for = |deadline: Option<Instant>| -> Option<SimplexOptions> {
+            match deadline {
+                None => Some(SimplexOptions::default()),
+                Some(d) => {
+                    let now = Instant::now();
+                    (now < d).then(|| SimplexOptions {
+                        time_limit: Some(d - now),
+                        ..SimplexOptions::default()
+                    })
+                }
+            }
+        };
+        let (mut best_sched, mut best_cost) = heuristic_incumbent(inst, profile);
+        let mut nodes: u64 = 1;
+
+        let mut simplex = SimplexSolver::new(&model.lp);
+        // Crash the incumbent into a primal-feasible basis: the root
+        // relaxation starts in phase 2 at the incumbent's objective.
+        simplex.set_basis(&model.crash_basis(inst, &best_sched));
+        let Some(opts) = opts_for(deadline) else {
+            return Ok(SolveResult {
+                schedule: best_sched,
+                cost: best_cost,
+                status: SolveStatus::TimedOut,
+                nodes,
+                lower_bound: None,
+            });
+        };
+        let root = simplex.solve(&opts);
+        match root.status {
+            LpStatus::Infeasible => {
+                return Err(SolveError::Infeasible(
+                    "A.4 sparse relaxation infeasible — model/instance mismatch".into(),
+                ))
+            }
+            LpStatus::Unbounded => {
+                return Err(SolveError::Unsupported(
+                    "MILP relaxation unbounded — model must be bounded".into(),
+                ))
+            }
+            LpStatus::IterLimit | LpStatus::TimeLimit => {
+                return Ok(SolveResult {
+                    schedule: best_sched,
+                    cost: best_cost,
+                    status: SolveStatus::TimedOut,
+                    nodes,
+                    lower_bound: None,
+                })
+            }
+            LpStatus::Optimal => {}
+        }
+        let root_bound = ceil_bound(root.objective);
+
+        // DFS over window splits: branching only tightens column
+        // bounds, so one persistent simplex re-solves every node from
+        // the previous basis (phase 1 repairs the handful of
+        // infeasibilities a branch introduces).
+        let mut windows: Vec<(Time, Time)> = (0..model.node_count() as u32)
+            .map(|v| model.window(v))
+            .collect();
+        let mut exhausted = true;
+        let mut stack: Vec<Op> = Vec::new();
+        let mut pending = Some(root); // solution of the node just solved
+
+        loop {
+            // Process the freshly solved node (root or Enter result).
+            if let Some(sol) = pending.take() {
+                let prune = match sol.status {
+                    LpStatus::Infeasible => true,
+                    LpStatus::Optimal => ceil_bound(sol.objective) >= best_cost,
+                    LpStatus::IterLimit | LpStatus::TimeLimit | LpStatus::Unbounded => {
+                        exhausted = false;
+                        true
+                    }
+                };
+                if !prune {
+                    match self.select_branch(&model, &windows, &sol.x) {
+                        None => {
+                            // Integral (within tolerance): harvest the
+                            // rounded schedule.
+                            if let Some(sched) = model.extract_schedule(&sol.x) {
+                                debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
+                                let cost = engine_cost(inst, profile, &sched);
+                                if cost < best_cost {
+                                    best_cost = cost;
+                                    best_sched = sched;
+                                }
+                                // Rounding sub-tolerance dust must not
+                                // have moved the objective: if the true
+                                // cost exceeds the node's LP bound the
+                                // subtree is not actually settled, so
+                                // the optimality claim is dropped (the
+                                // incumbent itself stays valid).
+                                if sol.status == LpStatus::Optimal
+                                    && cost > ceil_bound(sol.objective)
+                                {
+                                    exhausted = false;
+                                }
+                            } else {
+                                // No column cleared 0.5 for some task —
+                                // not a usable integer point; the node
+                                // is abandoned without a claim.
+                                exhausted = false;
+                            }
+                        }
+                        Some((v, split, mass_left)) => {
+                            let (lo, hi) = windows[v as usize];
+                            // Left child keeps [lo, split], right keeps
+                            // [split+1, hi]; explore the heavier side
+                            // first (stack order is reversed).
+                            let left = (
+                                Op::Enter {
+                                    v,
+                                    lo,
+                                    hi: split,
+                                    forbid: (split + 1, hi),
+                                },
+                                Op::Leave {
+                                    v,
+                                    lo,
+                                    hi,
+                                    forbid: (split + 1, hi),
+                                },
+                            );
+                            let right = (
+                                Op::Enter {
+                                    v,
+                                    lo: split + 1,
+                                    hi,
+                                    forbid: (lo, split),
+                                },
+                                Op::Leave {
+                                    v,
+                                    lo,
+                                    hi,
+                                    forbid: (lo, split),
+                                },
+                            );
+                            if mass_left >= 0.5 {
+                                stack.push(right.1);
+                                stack.push(right.0);
+                                stack.push(left.1);
+                                stack.push(left.0);
+                            } else {
+                                stack.push(left.1);
+                                stack.push(left.0);
+                                stack.push(right.1);
+                                stack.push(right.0);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(op) = stack.pop() else { break };
+            match op {
+                Op::Leave { v, lo, hi, forbid } => {
+                    windows[v as usize] = (lo, hi);
+                    for t in forbid.0..=forbid.1 {
+                        let c = model.s_col(v, t) as usize;
+                        // Restore the model's stored bounds, not a
+                        // hard-coded [0, 1].
+                        let (blo, bhi) = model.lp.bounds(c);
+                        simplex.set_col_bounds(c, blo, bhi);
+                    }
+                }
+                Op::Enter { v, lo, hi, forbid } => {
+                    nodes += 1;
+                    if nodes > budget.node_limit {
+                        exhausted = false;
+                        // The matching Leave is on the stack; fall
+                        // through without solving.
+                        windows[v as usize] = (lo, hi);
+                        for t in forbid.0..=forbid.1 {
+                            simplex.set_col_bounds(model.s_col(v, t) as usize, 0.0, 0.0);
+                        }
+                        continue;
+                    }
+                    windows[v as usize] = (lo, hi);
+                    for t in forbid.0..=forbid.1 {
+                        simplex.set_col_bounds(model.s_col(v, t) as usize, 0.0, 0.0);
+                    }
+                    match opts_for(deadline) {
+                        None => exhausted = false,
+                        Some(opts) => {
+                            // Cap per-node pivots so one stalled
+                            // re-solve cannot consume the whole search
+                            // budget; a capped node is pruned honestly
+                            // (`exhausted` drops the optimality claim).
+                            let opts = SimplexOptions {
+                                max_iters: 50_000,
+                                ..opts
+                            };
+                            pending = Some(simplex.solve(&opts));
+                        }
+                    }
+                }
+            }
+        }
+
+        let (status, lower_bound) = if exhausted {
+            (SolveStatus::Optimal, Some(best_cost))
+        } else {
+            (SolveStatus::Feasible, Some(root_bound))
+        };
+        Ok(SolveResult {
+            schedule: best_sched,
+            cost: best_cost,
+            status,
+            nodes,
+            lower_bound,
         })
     }
 }
@@ -450,5 +814,47 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn unbounded_relaxation_is_reported_not_panicked() {
+        // min -x, x integer, no rows at all: relaxation unbounded.
+        let mut p = LpProblem::new(1);
+        p.objective = vec![-1.0];
+        assert_eq!(
+            solve_milp(&p, &[0], MilpConfig::default()),
+            MilpOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn sparse_milp_matches_dense_on_chains() {
+        use cawo_core::enhanced::UnitInfo;
+        use cawo_graph::dag::DagBuilder;
+        let exec: Vec<Time> = vec![2, 3];
+        let mut b = DagBuilder::new(2);
+        b.add_edge(0, 1);
+        let inst = Instance::from_raw(
+            b.build().unwrap(),
+            exec,
+            vec![0, 0],
+            vec![UnitInfo {
+                p_idle: 1,
+                p_work: 4,
+                is_link: false,
+            }],
+            0,
+        );
+        let profile = PowerProfile::from_parts(vec![0, 4, 10], vec![3, 6]);
+        let sparse = MilpSolver::default()
+            .solve(&inst, &profile, Budget::default())
+            .unwrap();
+        let dense = MilpDenseSolver::default()
+            .solve(&inst, &profile, Budget::default())
+            .unwrap();
+        assert_eq!(sparse.status, SolveStatus::Optimal);
+        assert_eq!(dense.status, SolveStatus::Optimal);
+        assert_eq!(sparse.cost, dense.cost);
+        assert_eq!(sparse.lower_bound, Some(sparse.cost));
     }
 }

@@ -11,9 +11,12 @@
 //!   solution, phase 2 optimises the real objective,
 //! * Bland's rule guarantees termination on degenerate problems.
 //!
-//! Dense tableaus are quadratic in memory, which is fine for the tiny
-//! time-indexed models the Fig. 7 comparison needs (hundreds of
-//! variables) and keeps the code auditable.
+//! Dense tableaus are quadratic in memory, which caps this solver at
+//! hundreds of variables — since the sparse revised simplex of
+//! [`cawo_lp`] took over the production `lp`/`milp` paths, this module's
+//! job is to stay small and auditable as the *differential-testing
+//! oracle* (`lp_parity` holds the two engines to bit-comparable
+//! objectives; the `lp-dense`/`milp-dense` registry entries expose it).
 
 /// Comparison operator of an LP constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,36 +308,36 @@ fn pivot(
     basis[row] = col;
 }
 
-/// The LP relaxation of the Appendix A.4 model as a [`Solver`](crate::solver::Solver): one
+/// The LP relaxation of the *literal* Appendix A.4 model solved by the
+/// dense tableau — the differential-testing oracle behind the sparse
+/// [`crate::sparse_model::LpSolver`] (registry name `lp-dense`). One
 /// two-phase simplex solve yields a *proven lower bound* on the optimal
 /// carbon cost (the objective is integral, so the bound rounds up),
 /// which is paired with the strongest heuristic incumbent. When the
 /// incumbent meets the bound the result is certified
 /// [`SolveStatus::Optimal`](crate::solver::SolveStatus::Optimal) without any branching; otherwise it is
-/// returned as [`SolveStatus::Feasible`](crate::solver::SolveStatus::Feasible) with the bound attached — the
-/// cheapest optimality certificate in the suite.
+/// returned as [`SolveStatus::Feasible`](crate::solver::SolveStatus::Feasible) with the bound attached.
 ///
-/// Like the MILP solver, the dense tableau caps the tractable model
-/// size; larger instances are declined as
-/// [`crate::solver::SolveError::Unsupported`].
+/// The dense tableau caps the tractable model size; larger instances
+/// are declined as [`crate::solver::SolveError::Unsupported`].
 #[derive(Debug, Clone, Copy)]
-pub struct LpSolver {
+pub struct LpDenseSolver {
     /// Refuse models with more variables than this. One LP solve is
     /// much cheaper than the MILP search, but the dense tableau still
     /// pays rows × columns per pivot, and the row count outgrows the
-    /// variable count (see [`crate::milp::MilpSolver::max_vars`]).
+    /// variable count (see [`crate::milp::MilpDenseSolver::max_vars`]).
     pub max_vars: usize,
 }
 
-impl Default for LpSolver {
+impl Default for LpDenseSolver {
     fn default() -> Self {
-        LpSolver { max_vars: 600 }
+        LpDenseSolver { max_vars: 600 }
     }
 }
 
-impl crate::solver::Solver for LpSolver {
+impl crate::solver::Solver for LpDenseSolver {
     fn name(&self) -> &'static str {
-        "lp"
+        "lp-dense"
     }
 
     fn solve(

@@ -15,15 +15,17 @@
 //! a value ([`SolverKind`]) exactly like they treat heuristic
 //! [`cawo_core::Variant`]s. Every registered solver:
 //!
-//! | name        | module                     | method                                    | guarantee |
-//! |-------------|----------------------------|-------------------------------------------|-----------|
-//! | `bnb`       | [`crate::bnb`]             | combinatorial branch-and-bound            | optimal   |
-//! | `dp`        | [`crate::dp`]              | E-schedule-restricted polynomial DP       | optimal (uniprocessor) |
-//! | `dp-pseudo` | [`crate::dp`]              | pseudo-polynomial `Opt(i, t)` table       | optimal (uniprocessor) |
-//! | `eschedule` | [`crate::eschedule`]       | heuristic seed + Lemma 4.2 normalisation  | feasible (uniprocessor) |
-//! | `ilp`       | [`crate::ilp`]             | branch-and-bound certified by the ILP checker | optimal |
-//! | `milp`      | [`crate::milp`]            | Appendix A.4 model solved by simplex B&B  | optimal (tiny instances) |
-//! | `lp`        | [`crate::simplex`]         | LP-relaxation lower bound + best heuristic | optimal iff bound met |
+//! | name         | module                     | method                                    | guarantee |
+//! |--------------|----------------------------|-------------------------------------------|-----------|
+//! | `bnb`        | [`crate::bnb`]             | combinatorial branch-and-bound            | optimal   |
+//! | `dp`         | [`crate::dp`]              | E-schedule-restricted polynomial DP       | optimal (uniprocessor) |
+//! | `dp-pseudo`  | [`crate::dp`]              | pseudo-polynomial `Opt(i, t)` table       | optimal (uniprocessor) |
+//! | `eschedule`  | [`crate::eschedule`]       | heuristic seed + Lemma 4.2 normalisation  | feasible (uniprocessor) |
+//! | `ilp`        | [`crate::ilp`]             | branch-and-bound certified by the ILP checker | optimal |
+//! | `milp`       | [`crate::milp`]            | compact A.4 model, sparse revised-simplex B&B (warm-started window splits) | optimal / feasible + bound |
+//! | `lp`         | [`crate::sparse_model`]    | sparse LP-relaxation lower bound + best heuristic | optimal iff bound met |
+//! | `milp-dense` | [`crate::milp`]            | literal A.4 model via the dense tableau B&B | optimal (tiny oracle) |
+//! | `lp-dense`   | [`crate::simplex`]         | dense LP-relaxation bound + best heuristic | optimal iff bound met (tiny oracle) |
 //!
 //! Solvers that cannot handle an instance (multi-unit input to a
 //! uniprocessor method, a time-indexed model too large to materialise)
@@ -41,8 +43,10 @@ use cawo_platform::PowerProfile;
 pub enum SolveStatus {
     /// The returned schedule is proven optimal.
     Optimal,
-    /// The returned schedule is valid but carries no optimality proof
-    /// (the method itself is inexact, e.g. a polisher or rounding).
+    /// The returned schedule is valid but carries no optimality proof —
+    /// either the method is inexact (a polisher, a rounding, a bound
+    /// that fell short of the incumbent) or a budgeted search concluded
+    /// with an integer incumbent it could not prove optimal.
     Feasible,
     /// The budget ran out; the best incumbent found so far is returned.
     TimedOut,
@@ -197,15 +201,25 @@ pub enum SolverKind {
     Eschedule,
     /// Checker-certified branch-and-bound ([`crate::ilp::IlpSolver`]).
     Ilp,
-    /// Appendix A.4 model via simplex B&B ([`crate::milp::MilpSolver`]).
+    /// Compact A.4 model via the sparse revised-simplex B&B
+    /// ([`crate::milp::MilpSolver`]).
     Milp,
-    /// LP-relaxation bound + incumbent ([`crate::simplex::LpSolver`]).
+    /// Sparse LP-relaxation bound + incumbent
+    /// ([`crate::sparse_model::LpSolver`]).
     Lp,
+    /// Literal A.4 model via the dense tableau B&B — the sparse
+    /// engine's differential-testing oracle
+    /// ([`crate::milp::MilpDenseSolver`]).
+    MilpDense,
+    /// Dense LP-relaxation bound + incumbent — oracle counterpart of
+    /// `lp` ([`crate::simplex::LpDenseSolver`]).
+    LpDense,
 }
 
 impl SolverKind {
-    /// Every registered solver, general-purpose first.
-    pub const ALL: [SolverKind; 7] = [
+    /// Every registered solver, general-purpose first, dense oracles
+    /// last.
+    pub const ALL: [SolverKind; 9] = [
         SolverKind::Bnb,
         SolverKind::Dp,
         SolverKind::DpPseudo,
@@ -213,6 +227,8 @@ impl SolverKind {
         SolverKind::Ilp,
         SolverKind::Milp,
         SolverKind::Lp,
+        SolverKind::MilpDense,
+        SolverKind::LpDense,
     ];
 
     /// Stable label (inverse of [`SolverKind::parse`]).
@@ -225,6 +241,8 @@ impl SolverKind {
             SolverKind::Ilp => "ilp",
             SolverKind::Milp => "milp",
             SolverKind::Lp => "lp",
+            SolverKind::MilpDense => "milp-dense",
+            SolverKind::LpDense => "lp-dense",
         }
     }
 
@@ -244,7 +262,9 @@ impl SolverKind {
             SolverKind::Eschedule => Box::new(crate::eschedule::EscheduleSolver::default()),
             SolverKind::Ilp => Box::new(crate::ilp::IlpSolver::default()),
             SolverKind::Milp => Box::new(crate::milp::MilpSolver::default()),
-            SolverKind::Lp => Box::new(crate::simplex::LpSolver::default()),
+            SolverKind::Lp => Box::new(crate::sparse_model::LpSolver::default()),
+            SolverKind::MilpDense => Box::new(crate::milp::MilpDenseSolver::default()),
+            SolverKind::LpDense => Box::new(crate::simplex::LpDenseSolver::default()),
         }
     }
 
@@ -252,7 +272,10 @@ impl SolverKind {
     /// (where the solver is engine-generic; others ignore it).
     pub fn build_with_engine(self, engine: EngineKind) -> Box<dyn Solver + Send + Sync> {
         match self {
-            SolverKind::Bnb => Box::new(crate::bnb::BnbSolver { engine }),
+            SolverKind::Bnb => Box::new(crate::bnb::BnbSolver {
+                engine,
+                ..crate::bnb::BnbSolver::default()
+            }),
             SolverKind::Eschedule => Box::new(crate::eschedule::EscheduleSolver { engine }),
             other => other.build(),
         }
@@ -269,9 +292,15 @@ impl SolverKind {
             }
             SolverKind::Ilp => "branch-and-bound certified against the Appendix A.4 ILP (optimal)",
             SolverKind::Milp => {
-                "Appendix A.4 model via two-phase simplex B&B (optimal; tiny instances)"
+                "compact A.4 model via sparse revised-simplex B&B (optimal or feasible + bound)"
             }
-            SolverKind::Lp => "LP-relaxation lower bound + best heuristic incumbent",
+            SolverKind::Lp => "sparse LP-relaxation lower bound + best heuristic incumbent",
+            SolverKind::MilpDense => {
+                "literal A.4 model via dense tableau B&B (optimal; tiny oracle)"
+            }
+            SolverKind::LpDense => {
+                "dense LP-relaxation lower bound + best heuristic incumbent (tiny oracle)"
+            }
         }
     }
 }
@@ -297,6 +326,14 @@ pub(crate) fn require_feasible(inst: &Instance, profile: &PowerProfile) -> Resul
 
 /// Extracts the single execution chain of a uniprocessor instance, or
 /// explains why the method does not apply.
+///
+/// Besides "all tasks on one unit" this checks that consecutive tasks
+/// of the unit order are linked by precedence edges: the uniprocessor
+/// methods (DPs, E-schedule normalisation, the boundary-aligned
+/// branch-and-bound candidates) assume *sequential, non-overlapping*
+/// execution, and in this model only `Gc` edges forbid co-located
+/// overlap (real instances get those chain edges from `E''` during
+/// construction — a raw mapping without them is not a chain).
 pub(crate) fn single_chain(inst: &Instance) -> Result<(Vec<NodeId>, u64), SolveError> {
     let mut chain: Option<(Vec<NodeId>, u64)> = None;
     for u in 0..inst.unit_count() as u32 {
@@ -311,7 +348,16 @@ pub(crate) fn single_chain(inst: &Instance) -> Result<(Vec<NodeId>, u64), SolveE
         }
         chain = Some((order.to_vec(), inst.unit(u).p_work));
     }
-    chain.ok_or_else(|| SolveError::Unsupported("instance has no tasks".into()))
+    let (order, p_work) =
+        chain.ok_or_else(|| SolveError::Unsupported("instance has no tasks".into()))?;
+    for w in order.windows(2) {
+        if !inst.dag().successors(w[0]).contains(&w[1]) {
+            return Err(SolveError::Unsupported(
+                "uniprocessor method requires the unit order to be a precedence chain".into(),
+            ));
+        }
+    }
+    Ok((order, p_work))
 }
 
 /// The strongest heuristic incumbent available without a search:

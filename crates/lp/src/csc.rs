@@ -1,0 +1,149 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! The revised simplex never forms dense tableaus: the constraint matrix
+//! is stored column-wise so FTRAN right-hand sides (`B⁻¹ a_q`) and
+//! reduced-cost pricing (`c_j − yᵀa_j`) touch exactly the nonzeros of
+//! the column in question. Row indices are `u32` — a million-row model
+//! is far beyond anything the workspace builds — which halves the index
+//! memory against `usize`.
+
+/// A sparse matrix in compressed sparse column form.
+#[derive(Debug, Clone, Default)]
+pub struct CscMatrix {
+    nrows: usize,
+    /// `col_ptr[j]..col_ptr[j + 1]` indexes column `j`'s entries.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// An empty matrix with `nrows` rows and no columns.
+    pub fn new(nrows: usize) -> Self {
+        CscMatrix {
+            nrows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one column given `(row, value)` entries. Zero-magnitude
+    /// entries are dropped; duplicate rows are summed.
+    pub fn push_col(&mut self, entries: &[(u32, f64)]) {
+        let start = self.row_idx.len();
+        for &(r, v) in entries {
+            debug_assert!((r as usize) < self.nrows, "row {r} out of range");
+            self.row_idx.push(r);
+            self.values.push(v);
+        }
+        // Sort the new span by row and coalesce duplicates so column
+        // iteration order is deterministic.
+        let mut pairs: Vec<(u32, f64)> = self.row_idx[start..]
+            .iter()
+            .copied()
+            .zip(self.values[start..].iter().copied())
+            .collect();
+        pairs.sort_unstable_by_key(|&(r, _)| r);
+        self.row_idx.truncate(start);
+        self.values.truncate(start);
+        for (r, v) in pairs {
+            if let Some(last) = self.row_idx.len().checked_sub(1) {
+                if self.row_idx[last] == r && last >= start {
+                    self.values[last] += v;
+                    continue;
+                }
+            }
+            self.row_idx.push(r);
+            self.values.push(v);
+        }
+        // Drop entries that cancelled to (or started as) zero.
+        let mut w = start;
+        for i in start..self.row_idx.len() {
+            if self.values[i] != 0.0 {
+                self.row_idx[w] = self.row_idx[i];
+                self.values[w] = self.values[i];
+                w += 1;
+            }
+        }
+        self.row_idx.truncate(w);
+        self.values.truncate(w);
+        self.col_ptr.push(self.row_idx.len());
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The `(row, value)` entries of column `j`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let span = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// Number of nonzeros in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, x: &[f64]) -> f64 {
+        self.col(j).map(|(r, v)| v * x[r as usize]).sum()
+    }
+
+    /// Scatters `scale ×` column `j` into a dense accumulator.
+    pub fn scatter_col(&self, j: usize, scale: f64, out: &mut [f64]) {
+        for (r, v) in self.col(j) {
+            out[r as usize] += scale * v;
+        }
+    }
+
+    /// Per-row nonzero counts across all columns (a static Markowitz
+    /// proxy for LU pivot selection).
+    pub fn row_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nrows];
+        for &r in &self.row_idx {
+            counts[r as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_iterate() {
+        let mut m = CscMatrix::new(3);
+        m.push_col(&[(2, 1.0), (0, 2.0)]);
+        m.push_col(&[]);
+        m.push_col(&[(1, -1.0), (1, 1.0), (0, 3.0)]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        // Column 0 sorted by row; column 2 coalesced its duplicate away.
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 2.0), (2, 1.0)]);
+        assert_eq!(m.col(1).count(), 0);
+        assert_eq!(m.col(2).collect::<Vec<_>>(), vec![(0, 3.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col_dot(0, &[1.0, 10.0, 100.0]), 102.0);
+        let mut acc = vec![0.0; 3];
+        m.scatter_col(0, 2.0, &mut acc);
+        assert_eq!(acc, vec![4.0, 0.0, 2.0]);
+        assert_eq!(m.row_counts(), vec![2, 0, 1]);
+    }
+}

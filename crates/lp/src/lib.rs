@@ -1,0 +1,40 @@
+//! `cawo_lp` — a sparse bounded-variable revised-simplex LP engine.
+//!
+//! The exact baselines of the CaWoSched reproduction (the Appendix A.4
+//! ILP, its LP relaxation) were limited to ~2k-variable models by the
+//! dense full-tableau simplex in `cawo_exact::simplex`. This crate is
+//! the subsystem that lifts them to the paper's 200-task Fig. 7 regime:
+//!
+//! * [`csc`] — compressed sparse column matrices ([`CscMatrix`]),
+//! * [`model`] — the [`SparseLp`] problem form: `min cᵀx` over sparse
+//!   rows with *native variable bounds* (free, fixed, boxed — a binary
+//!   costs no constraint row),
+//! * [`presolve`](mod@presolve) — fixed/free-variable elimination and row-singleton
+//!   reduction with exact [`Presolved::postsolve`] reconstruction,
+//! * [`lu`] — Markowitz-style sparse LU factorisation of the basis with
+//!   product-form eta updates and periodic refactorisation,
+//! * [`simplex`] — the bounded-variable revised simplex itself:
+//!   composite (artificial-free) phase 1, Dantzig + partial pricing,
+//!   bound flips, Bland anti-cycling, and **warm starts** from a saved
+//!   [`Basis`] so branch-and-bound nodes re-solve in a handful of
+//!   pivots ([`SimplexSolver`]).
+//!
+//! The crate is deliberately free of workspace dependencies: it speaks
+//! plain `f64` LP, and `cawo_exact` owns the translation from
+//! scheduling instances to [`SparseLp`] models. The dense tableau stays
+//! alive next door as the differential-testing oracle — the `lp_parity`
+//! suite in `cawo_exact` holds the two engines to bit-comparable
+//! objectives.
+
+#![warn(missing_docs)]
+
+pub mod csc;
+pub mod lu;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use csc::CscMatrix;
+pub use model::{Row, RowCmp, SparseLp};
+pub use presolve::{presolve, PresolveInfeasible, Presolved};
+pub use simplex::{solve, Basis, LpSolution, LpStatus, SimplexOptions, SimplexSolver, VStat};

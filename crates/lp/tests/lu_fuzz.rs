@@ -1,0 +1,97 @@
+//! Randomised residual checks of the LU kernels: for random sparse
+//! (often singular — skipped) bases, `ftran`/`btran` solutions must
+//! reproduce the right-hand side through a direct matrix multiply.
+//!
+//! The generator deliberately uses small half-integer data so exact
+//! cancellations are frequent — the regression this guards against was
+//! a duplicated fill-in entry that only appeared when a value cancelled
+//! to exactly zero mid-elimination and was revisited.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cawo_lp::lu::LuFactors;
+
+fn random_basis(rng: &mut StdRng, m: usize) -> Vec<Vec<(u32, f64)>> {
+    let mut cols: Vec<Vec<(u32, f64)>> = Vec::new();
+    for _ in 0..m {
+        if rng.gen_range(0..5) < 2 {
+            // Slack-like unit column.
+            cols.push(vec![(rng.gen_range(0..m) as u32, 1.0)]);
+        } else {
+            let k = rng.gen_range(1..=m);
+            let mut c: Vec<(u32, f64)> = Vec::new();
+            for _ in 0..k {
+                c.push((
+                    rng.gen_range(0..m) as u32,
+                    rng.gen_range(-4i64..=4) as f64 / 2.0,
+                ));
+            }
+            // Coalesce duplicates the way CscMatrix does.
+            c.sort_by_key(|&(r, _)| r);
+            let mut d: Vec<(u32, f64)> = Vec::new();
+            for (r, v) in c {
+                if let Some(last) = d.last_mut() {
+                    if last.0 == r {
+                        last.1 += v;
+                        continue;
+                    }
+                }
+                d.push((r, v));
+            }
+            d.retain(|&(_, v)| v != 0.0);
+            cols.push(d);
+        }
+    }
+    cols
+}
+
+#[test]
+fn ftran_btran_residuals_vanish_on_random_bases() {
+    let mut rng = StdRng::seed_from_u64(0x1f_2026);
+    let mut factored = 0u32;
+    for _ in 0..20_000 {
+        let m = rng.gen_range(2..9);
+        let cols = random_basis(&mut rng, m);
+        let mut counts = vec![0u32; m];
+        for col in &cols {
+            for &(r, _) in col {
+                counts[r as usize] += 1;
+            }
+        }
+        let Ok(lu) = LuFactors::factor(m, &cols, &counts) else {
+            continue; // singular draw
+        };
+        factored += 1;
+        assert!(lu.dim() == m && lu.fill_nnz() >= m);
+
+        let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let mut x = b.clone();
+        lu.ftran(&mut x);
+        let mut res = vec![0.0f64; m];
+        for (p, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                res[r as usize] += v * x[p];
+            }
+        }
+        for (ri, &bv) in b.iter().enumerate() {
+            res[ri] -= bv;
+        }
+        let maxres = res.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        assert!(maxres < 1e-6, "FTRAN residual {maxres} on {cols:?}");
+
+        let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let mut y = c.clone();
+        lu.btran(&mut y);
+        let mut worst = 0.0f64;
+        for (p, col) in cols.iter().enumerate() {
+            let mut acc = -c[p];
+            for &(r, v) in col {
+                acc += v * y[r as usize];
+            }
+            worst = worst.max(acc.abs());
+        }
+        assert!(worst < 1e-6, "BTRAN residual {worst} on {cols:?}");
+    }
+    assert!(factored > 5_000, "generator mostly singular: {factored}");
+}

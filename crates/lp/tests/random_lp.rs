@@ -1,0 +1,152 @@
+//! Randomised self-checks of the sparse simplex: constructed-feasible
+//! LPs must come back optimal with a feasible, no-worse-than-witness
+//! solution; presolve must not change objectives; warm starts must
+//! reproduce cold starts. (The cross-engine parity against the dense
+//! tableau lives in `cawo_exact/tests/lp_parity.rs`.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cawo_lp::{presolve, solve, LpStatus, RowCmp, SimplexOptions, SimplexSolver, SparseLp};
+
+/// Builds a random LP that is feasible by construction: bounds are
+/// sampled around a witness point `x*` and every row's rhs is set so
+/// `x*` satisfies it.
+fn random_feasible_lp(rng: &mut StdRng, n: usize, m: usize) -> (SparseLp, Vec<f64>) {
+    let mut lp = SparseLp::new();
+    let mut witness = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = rng.gen_range(-5.0..5.0);
+        let lo = if rng.gen_range(0..4) == 0 {
+            f64::NEG_INFINITY
+        } else {
+            x - rng.gen_range(0.0..4.0)
+        };
+        let hi = if rng.gen_range(0..4) == 0 {
+            f64::INFINITY
+        } else {
+            x + rng.gen_range(0.0..4.0)
+        };
+        // Keep the objective bounded along every recession direction:
+        // unbounded-above variables get non-negative cost,
+        // unbounded-below non-positive cost, doubly-free zero cost.
+        let c = match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => rng.gen_range(-3.0..3.0),
+            (true, false) => rng.gen_range(0.0..3.0),
+            (false, true) => rng.gen_range(-3.0..0.0),
+            (false, false) => 0.0,
+        };
+        lp.add_col(c, lo, hi);
+        witness.push(x);
+    }
+    for _ in 0..m {
+        let k = rng.gen_range(1..=3.min(n));
+        let mut terms: Vec<(u32, f64)> = Vec::new();
+        for _ in 0..k {
+            terms.push((rng.gen_range(0..n) as u32, rng.gen_range(-4.0..4.0)));
+        }
+        let lhs: f64 = terms.iter().map(|&(j, a)| a * witness[j as usize]).sum();
+        match rng.gen_range(0..3) {
+            0 => lp.add_row(terms, RowCmp::Le, lhs + rng.gen_range(0.0..2.0)),
+            1 => lp.add_row(terms, RowCmp::Ge, lhs - rng.gen_range(0.0..2.0)),
+            _ => lp.add_row(terms, RowCmp::Eq, lhs),
+        }
+    }
+    (lp, witness)
+}
+
+#[test]
+fn random_feasible_lps_solve_to_feasible_optima() {
+    let mut rng = StdRng::seed_from_u64(20260730);
+    for trial in 0..120 {
+        let n = rng.gen_range(1..10);
+        let m = rng.gen_range(0..12);
+        let (lp, witness) = random_feasible_lp(&mut rng, n, m);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(
+            sol.status,
+            LpStatus::Optimal,
+            "trial {trial}: witness-feasible LP must solve"
+        );
+        assert!(
+            lp.max_violation(&sol.x) < 1e-6,
+            "trial {trial}: optimal point violates the model by {}",
+            lp.max_violation(&sol.x)
+        );
+        let witness_obj = lp.objective_value(&witness);
+        assert!(
+            sol.objective <= witness_obj + 1e-6,
+            "trial {trial}: objective {} worse than witness {witness_obj}",
+            sol.objective
+        );
+    }
+}
+
+#[test]
+fn presolve_preserves_objectives() {
+    let mut rng = StdRng::seed_from_u64(7_031_994);
+    for trial in 0..120 {
+        let n = rng.gen_range(1..9);
+        let m = rng.gen_range(0..10);
+        let (mut lp, _) = random_feasible_lp(&mut rng, n, m);
+        // Sprinkle in presolve fodder: a fixed column and a singleton row.
+        let fixed = lp.add_col(rng.gen_range(-2.0..2.0), 1.5, 1.5);
+        lp.add_row(vec![(fixed as u32, 1.0)], RowCmp::Le, 2.0);
+        let direct = solve(&lp, &SimplexOptions::default());
+        let pre = presolve(&lp).expect("feasible by construction");
+        let reduced = solve(&pre.lp, &SimplexOptions::default());
+        assert_eq!(direct.status, LpStatus::Optimal, "trial {trial}");
+        assert_eq!(reduced.status, LpStatus::Optimal, "trial {trial}");
+        let lifted = pre.postsolve(&reduced.x);
+        assert!(
+            lp.max_violation(&lifted) < 1e-6,
+            "trial {trial}: postsolved point infeasible"
+        );
+        let via_presolve = reduced.objective + pre.objective_offset();
+        assert!(
+            (via_presolve - direct.objective).abs() < 1e-6 * (1.0 + direct.objective.abs()),
+            "trial {trial}: presolved {via_presolve} vs direct {}",
+            direct.objective
+        );
+    }
+}
+
+#[test]
+fn warm_start_equals_cold_start() {
+    let mut rng = StdRng::seed_from_u64(424_242);
+    for trial in 0..80 {
+        let n = rng.gen_range(2..8);
+        let m = rng.gen_range(1..8);
+        let (mut lp, _) = random_feasible_lp(&mut rng, n, m);
+        let mut solver = SimplexSolver::new(&lp);
+        let first = solver.solve(&SimplexOptions::default());
+        assert_eq!(first.status, LpStatus::Optimal, "trial {trial}");
+
+        // Re-solving warm from the optimal basis takes zero pivots.
+        let resolved = solver.solve(&SimplexOptions::default());
+        assert_eq!(resolved.status, LpStatus::Optimal);
+        assert_eq!(resolved.iterations, 0, "trial {trial}: basis was optimal");
+        assert!((resolved.objective - first.objective).abs() < 1e-9);
+
+        // Tighten a random bounded column the way branching would.
+        let j = rng.gen_range(0..n);
+        let (lo, hi) = lp.bounds(j);
+        if !lo.is_finite() || !hi.is_finite() {
+            continue;
+        }
+        let cut = lo + (hi - lo) * rng.gen_range(0.2..0.8);
+        solver.set_col_bounds(j, lo, cut);
+        let warm = solver.solve(&SimplexOptions::default());
+        lp.set_bounds(j, lo, cut);
+        let cold = solve(&lp, &SimplexOptions::default());
+        assert_eq!(warm.status, cold.status, "trial {trial}");
+        if cold.status == LpStatus::Optimal {
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6 * (1.0 + cold.objective.abs()),
+                "trial {trial}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+    }
+}

@@ -99,6 +99,7 @@ fn main() {
         },
     );
     let results = run_grid(&cfg);
+    let skipped = cfg.grid().len() - results.len();
     eprintln!("{} instances done", results.len());
 
     println!(
@@ -140,5 +141,12 @@ fn main() {
                 row.lower_bound.map_or_else(String::new, |c| c.to_string()),
             );
         }
+    }
+    // A partial grid (instances skipped over unloadable traces) still
+    // emits its rows above, but must not read as a clean run to
+    // scripted consumers.
+    if skipped > 0 {
+        eprintln!("error: {skipped} instance(s) skipped (see warnings above)");
+        std::process::exit(3);
     }
 }

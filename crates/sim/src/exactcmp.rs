@@ -142,6 +142,7 @@ pub fn run_exact_comparison(cfg: &ExactCmpConfig) -> Vec<ExactCmpResult> {
                 BnbConfig {
                     budget: Budget::nodes(cfg.node_limit),
                     incumbent: best.map(|(_, s)| s),
+                    ..BnbConfig::default()
                 },
             );
             ExactCmpResult {

@@ -379,7 +379,9 @@ fn profile_seed(master: u64, spec: &InstanceSpec) -> u64 {
 
 /// Runs the grid in parallel. Workflow → mapping → enhanced-instance
 /// construction is shared across the 16 profiles of each
-/// (workflow, cluster) pair.
+/// (workflow, cluster) pair. Instances whose profile fails to build
+/// (e.g. an unloadable trace CSV) are skipped with a stderr warning —
+/// see [`run_one`] to handle the error per instance instead.
 pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
     let specs = cfg.grid();
     // Prepare unique (workflow, cluster) instances in parallel.
@@ -404,35 +406,46 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
 
     specs
         .par_iter()
-        .map(|spec| {
+        .filter_map(|spec| {
             let pair = &prepared[&(spec.family, spec.scaled_to, spec.cluster)];
             let (inst, cluster) = (&pair.0, &pair.1);
-            run_one(cfg, spec, inst, cluster)
+            match run_one(cfg, spec, inst, cluster) {
+                Ok(res) => Some(res),
+                Err(e) => {
+                    // One broken instance (typically an unloadable trace)
+                    // must not take down the grid: skip it loudly.
+                    eprintln!("warning: skipping {e}");
+                    None
+                }
+            }
         })
         .collect()
 }
 
 /// Builds the power profile of one grid instance (synthetic S1–S4 or
-/// the configured trace).
+/// the configured trace). Trace-backed profiles can fail to load (a
+/// missing or malformed CSV); the error is returned instead of
+/// panicking so one bad trace cannot crash a whole grid run.
 pub fn build_profile(
     cfg: &ExperimentConfig,
     spec: &InstanceSpec,
     cluster: &Cluster,
     asap_makespan: Time,
-) -> cawo_platform::PowerProfile {
+) -> Result<cawo_platform::PowerProfile, String> {
     match spec.scenario {
         ScenarioSpec::Synthetic(s) => {
-            ProfileConfig::new(s, spec.deadline, profile_seed(cfg.seed, spec))
-                .build(cluster, asap_makespan)
+            Ok(
+                ProfileConfig::new(s, spec.deadline, profile_seed(cfg.seed, spec))
+                    .build(cluster, asap_makespan),
+            )
         }
         ScenarioSpec::Trace => {
-            let trace = cfg
-                .trace
-                .as_ref()
-                .expect("grid contains a trace column only when one is configured");
+            let trace = cfg.trace.as_ref().ok_or_else(|| {
+                "grid contains a trace column but no trace is configured".to_string()
+            })?;
             TraceConfig::new(trace.source.clone(), spec.deadline)
                 .build(cluster, asap_makespan)
-                .unwrap_or_else(|e| panic!("trace scenario `{}`: {e}", trace.name))
+                .map_err(|e| format!("trace scenario `{}`: {e}", trace.name))
         }
     }
 }
@@ -455,9 +468,10 @@ pub fn run_one(
     spec: &InstanceSpec,
     inst: &Instance,
     cluster: &Cluster,
-) -> SpecResult {
+) -> Result<SpecResult, String> {
     let asap_makespan = inst.asap_makespan();
-    let profile = build_profile(cfg, spec, cluster, asap_makespan);
+    let profile = build_profile(cfg, spec, cluster, asap_makespan)
+        .map_err(|e| format!("{}: {e}", spec.id()))?;
     let params = RunParams {
         engine: cfg.engine,
         ..RunParams::default()
@@ -510,7 +524,7 @@ pub fn run_one(
     } else {
         cfg.solvers.par_iter().map(run_solver).collect()
     };
-    SpecResult {
+    Ok(SpecResult {
         spec: *spec,
         n_tasks: inst.original_task_count(),
         gc_nodes: inst.node_count(),
@@ -519,7 +533,7 @@ pub fn run_one(
         cost,
         millis,
         solver_rows,
-    }
+    })
 }
 
 /// Size class of a workflow (Figure 16): small ≤ 4000 < medium ≤ 18000
@@ -600,7 +614,7 @@ mod tests {
         let cluster = spec.cluster.build(cfg.seed);
         let mapping = heft_schedule(&wf, &cluster);
         let inst = Instance::build(&wf, &cluster, &mapping);
-        let res = run_one(&cfg, &spec, &inst, &cluster);
+        let res = run_one(&cfg, &spec, &inst, &cluster).unwrap();
         assert_eq!(res.cost.len(), 3);
         assert_eq!(res.n_tasks, wf.task_count());
         assert!(res.gc_nodes >= res.n_tasks);
@@ -680,7 +694,7 @@ mod tests {
         let cluster = spec.cluster.build(cfg.seed);
         let mapping = heft_schedule(&wf, &cluster);
         let inst = Instance::build(&wf, &cluster, &mapping);
-        let res = run_one(&cfg, &spec, &inst, &cluster);
+        let res = run_one(&cfg, &spec, &inst, &cluster).unwrap();
         assert_eq!(res.cost.len(), 2);
         assert_eq!(res.solver_rows.len(), 2);
         // BnB runs on any instance (optimal or timed out under the tiny
@@ -694,6 +708,37 @@ mod tests {
         assert_eq!(dp.status, SolverRowStatus::Unsupported);
         assert_eq!(dp.status.name(), "unsupported");
         assert_eq!(dp.cost, None);
+    }
+
+    #[test]
+    fn broken_trace_is_an_error_not_a_panic() {
+        let mut cfg = ExperimentConfig {
+            variants: vec![Variant::Asap],
+            ..ExperimentConfig::new(GridScale::Quick, 5)
+        };
+        cfg.trace = Some(TraceScenario {
+            name: "missing".into(),
+            source: TraceSource::CsvFile("/nonexistent/trace.csv".into()),
+        });
+        let spec = InstanceSpec {
+            family: Family::Bacass,
+            scaled_to: None,
+            cluster: ClusterKind::Small,
+            scenario: ScenarioSpec::Trace,
+            deadline: DeadlineFactor::X15,
+        };
+        let wf = generator::instantiate(
+            &PaperInstance {
+                family: spec.family,
+                scaled_to: None,
+            },
+            cfg.seed,
+        );
+        let cluster = spec.cluster.build(cfg.seed);
+        let mapping = heft_schedule(&wf, &cluster);
+        let inst = Instance::build(&wf, &cluster, &mapping);
+        let err = run_one(&cfg, &spec, &inst, &cluster).unwrap_err();
+        assert!(err.contains("trace scenario"), "unexpected error: {err}");
     }
 
     #[test]

@@ -44,8 +44,8 @@ fn dense_and_interval_engines_agree_on_the_small_paper_grid() {
                 engine: EngineKind::Interval,
                 ..base.clone()
             };
-            let dense = run_one(&dense_cfg, &spec, &inst, &cluster);
-            let sparse = run_one(&sparse_cfg, &spec, &inst, &cluster);
+            let dense = run_one(&dense_cfg, &spec, &inst, &cluster).unwrap();
+            let sparse = run_one(&sparse_cfg, &spec, &inst, &cluster).unwrap();
             let bad = cost_mismatches(&dense.cost, &sparse.cost);
             assert!(
                 bad.is_empty(),

@@ -62,6 +62,7 @@ fn main() {
         BnbConfig {
             budget: Budget::nodes(5_000_000),
             incumbent: Some(bs),
+            ..BnbConfig::default()
         },
     );
     println!(

@@ -36,7 +36,7 @@ fn main() {
 const USAGE: &str = "usage:
   cawosched generate --family <atacseq|bacass|eager|methylseq> [--tasks N] [--seed N]
   cawosched schedule [--dot FILE|-] [--json FILE] [--variant NAME]
-                     [--solver bnb|dp|dp-pseudo|eschedule|ilp|milp|lp]
+                     [--solver bnb|dp|dp-pseudo|eschedule|ilp|milp|lp|milp-dense|lp-dense]
                      [--solver-budget SPEC] [--scenario S1..S4] [--trace CSV]
                      [--deadline 1|1.5|2|3] [--cluster tiny|small|large]
                      [--engine dense|interval|fenwick] [--seed N] [--gantt]

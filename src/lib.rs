@@ -12,9 +12,13 @@
 //! * [`core`] — the paper's contribution: communication-enhanced DAG,
 //!   pluggable carbon-cost engines (dense oracle / interval-sparse),
 //!   ASAP baseline, the 16 CaWoSched greedy + local-search variants.
+//! * [`lp`] — the sparse bounded-variable revised-simplex LP engine
+//!   (CSC matrices, presolve, LU + eta updates, warm starts) behind
+//!   the paper-scale `milp`/`lp` solvers.
 //! * [`exact`] — exact optimality references behind the unified
 //!   `Solver` trait: uniprocessor dynamic programs, the time-indexed
-//!   ILP model, branch-and-bound, simplex/MILP and the E-schedule
+//!   ILP model, branch-and-bound, the compact sparse A.4 model on
+//!   [`lp`], the dense simplex/MILP oracles and the E-schedule
 //!   normalisation, each selectable via `SolverKind`.
 //! * [`sim`] — the experiment harness reproducing every table and figure
 //!   of the paper's evaluation.
@@ -47,6 +51,7 @@ pub use cawo_core as core;
 pub use cawo_exact as exact;
 pub use cawo_graph as graph;
 pub use cawo_heft as heft;
+pub use cawo_lp as lp;
 pub use cawo_platform as platform;
 pub use cawo_sim as sim;
 
