@@ -19,6 +19,12 @@
 //! * **headline** — the paper-grid 200-task instance (Fig. 7 regime):
 //!   `--solver lp` and `--solver milp` through the `Solver` registry
 //!   under a wall-clock budget, recording status, bound and cost.
+//! * **threads ladder** — the 100-task compact model (20k+ columns,
+//!   past the parallel-pricing threshold) solved on dedicated
+//!   `cawo_par` pools of 1/2/4/8 workers; objectives are asserted
+//!   bit-identical across the ladder (the deterministic-reduction
+//!   contract), and `pricing_threads_speedup` is 1-thread seconds over
+//!   each. Speedups saturate at the host's physical core count.
 
 use std::time::Instant;
 
@@ -41,7 +47,13 @@ struct Row {
     seconds: f64,
     objective: f64,
     status: String,
+    /// Pool size the row was measured on (1 = sequential; only the
+    /// threads ladder varies this).
+    threads: usize,
 }
+
+/// Pool sizes of the threads ladder.
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 
 fn median<F: FnMut() -> (f64, String)>(samples: usize, mut f: F) -> (f64, f64, String) {
     let mut times = Vec::with_capacity(samples);
@@ -77,6 +89,7 @@ fn main() {
             seconds: secs_d,
             objective: obj_d,
             status: status_d,
+            threads: 1,
         });
         let (secs_s, obj_s, status_s) = median(3, || {
             let sol = cawo_lp::solve(&sparse_lp, &cawo_lp::SimplexOptions::default());
@@ -91,6 +104,7 @@ fn main() {
             seconds: secs_s,
             objective: obj_s,
             status: status_s,
+            threads: 1,
         });
         assert!(
             (obj_d - obj_s).abs() <= 1e-6 * (1.0 + obj_d.abs()),
@@ -122,6 +136,7 @@ fn main() {
             seconds: secs,
             objective: obj,
             status,
+            threads: 1,
         });
     }
 
@@ -168,7 +183,51 @@ fn main() {
             seconds: secs,
             objective: cost,
             status,
+            threads: 1,
         });
+    }
+
+    // --- Threads ladder: parallel partial pricing, bit-identical. ---
+    {
+        let n = 100usize;
+        let (inst, profile) = lp_chain_fixture(n, 2 * n as Time, 6, &[0, 4]);
+        let model = SparseA4Model::build(&inst, &profile);
+        let opts = cawo_lp::SimplexOptions {
+            time_limit: Some(std::time::Duration::from_secs(120)),
+            ..cawo_lp::SimplexOptions::default()
+        };
+        let mut reference: Option<u64> = None;
+        for &threads in &THREAD_LADDER {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool construction cannot fail");
+            let (secs, obj, status) = median(1, || {
+                let sol = pool.install(|| cawo_lp::solve(&model.lp, &opts));
+                (sol.objective, format!("{:?}", sol.status).to_lowercase())
+            });
+            if status == "optimal" {
+                match reference {
+                    None => reference = Some(obj.to_bits()),
+                    Some(bits) => assert_eq!(
+                        bits,
+                        obj.to_bits(),
+                        "parallel pricing changed the objective at {threads} threads"
+                    ),
+                }
+            }
+            rows.push(Row {
+                section: "threads",
+                tasks: n,
+                engine: "sparse",
+                cols: model.lp.num_cols(),
+                rows: model.lp.num_rows(),
+                seconds: secs,
+                objective: obj,
+                status,
+                threads,
+            });
+        }
     }
 
     // --- Emit JSON. ---
@@ -185,7 +244,8 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"section\": \"{}\", \"tasks\": {}, \"engine\": \"{}\", \"cols\": {}, \
-             \"rows\": {}, \"seconds\": {:.3e}, \"objective\": {}, \"status\": \"{}\"}}{}\n",
+             \"rows\": {}, \"seconds\": {:.3e}, \"objective\": {}, \"status\": \"{}\", \
+             \"threads\": {}}}{}\n",
             r.section,
             r.tasks,
             r.engine,
@@ -198,6 +258,7 @@ fn main() {
                 format!("{:.6}", r.objective)
             },
             r.status,
+            r.threads,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -210,12 +271,29 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     ));
+    let ladder_secs = |threads: usize| -> f64 {
+        rows.iter()
+            .find(|r| r.section == "threads" && r.threads == threads)
+            .expect("measured")
+            .seconds
+    };
+    json.push_str(&format!(
+        "  \"pricing_threads_speedup\": {{{}}},\n",
+        THREAD_LADDER
+            .iter()
+            .map(|&t| format!("\"{t}\": {:.2}", ladder_secs(1) / ladder_secs(t).max(1e-12)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     json.push_str(
         "  \"note\": \"parity = identical lp_relaxation models solved by both engines \
          (objectives asserted equal); sparse_only = the compact windowed SparseA4Model at \
          sizes the dense tableau cannot represent; headline = the paper-grid 200-task \
          atacseq instance (small cluster, S1, x1.5) through --solver lp / --solver milp \
-         under a 60s budget\"\n}\n",
+         under a 60s budget; threads = the 100-task compact model solved with parallel \
+         partial pricing on 1/2/4/8-worker pools, objectives bit-identical across the \
+         ladder (pricing_threads_speedup saturates at the host's physical core count — \
+         a single-core machine reports ~1.0)\"\n}\n",
     );
     std::fs::write("BENCH_lp.json", &json).expect("write BENCH_lp.json");
     print!("{json}");

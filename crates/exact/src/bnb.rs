@@ -27,7 +27,11 @@
 //! testing opt-in, and the unproven multi-unit restriction
 //! ([`CandidateMode::Boundary`]) demotes its result to *feasible*.
 
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+use rayon::prelude::*;
 
 use cawo_core::{
     Bounds, Cost, CostEngine, DenseGrid, EngineKind, FenwickEngine, Instance, IntervalEngine,
@@ -70,6 +74,13 @@ pub struct BnbConfig {
     pub incumbent: Option<Schedule>,
     /// Candidate-start restriction (see [`CandidateMode`]).
     pub candidates: CandidateMode,
+    /// Explore the tree on the current `cawo_par` pool (a no-op on a
+    /// 1-thread pool). The optimum cost, exhaustion status and proven
+    /// bound are unaffected; node counts and equal-cost schedule ties
+    /// can vary run-to-run at >1 thread (see docs/CONCURRENCY.md).
+    /// Defaults to `false` so plain `solve_exact` calls stay bit-for-bit
+    /// reproducible, node counts included.
+    pub parallel: bool,
 }
 
 impl BnbConfig {
@@ -98,12 +109,67 @@ pub struct BnbResult {
     pub nodes: u64,
 }
 
+/// Search-wide state every worker reads and writes: the incumbent
+/// bound behind the pruning tests, the node counter, and the budget
+/// latch. A single-threaded search goes through the same fields — with
+/// one thread the atomics degenerate to plain loads/stores, so the
+/// sequential path costs (and counts) exactly what it did before.
+struct SharedSearch {
+    /// Best completion cost seen so far. Only ever lowered (via
+    /// `fetch_min`), so the bound is monotone non-increasing — the
+    /// property that keeps pruning admissible under concurrent updates.
+    best: AtomicI64,
+    nodes: AtomicU64,
+    node_limit: u64,
+    deadline: Option<Instant>,
+    /// Latched once the budget is exhausted so every later poll
+    /// short-circuits without reading the clock.
+    stop: AtomicBool,
+}
+
+impl SharedSearch {
+    fn best_bound(&self) -> i64 {
+        self.best.load(Ordering::SeqCst)
+    }
+
+    /// Entry-time budget poll. Polled every node: a single node
+    /// enumerates up to O(T) candidate placements (milliseconds at long
+    /// horizons), so any coarser polling would let the wall-clock cap
+    /// overshoot by orders of magnitude; against that, one clock read
+    /// per node is noise. Runs without a time limit never touch the
+    /// clock.
+    fn budget_exceeded(&self) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.nodes.load(Ordering::Relaxed) >= self.node_limit {
+            self.stop.store(true, Ordering::Relaxed);
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.stop.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Post-child truncation check (cheap: no clock).
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.nodes.load(Ordering::Relaxed) >= self.node_limit
+    }
+}
+
+/// Per-worker search state: the cost engine and prefix are private to
+/// the worker; bound/budget live in [`SharedSearch`].
 struct SearchState<'a, E: CostEngine> {
     inst: &'a Instance,
     /// Static LST per node (deadline-based).
-    lst: Vec<Time>,
+    lst: &'a [Time],
     /// Per-node sorted candidate starts (None = full enumeration).
-    cand_starts: Option<Vec<Vec<Time>>>,
+    cand_starts: Option<&'a [Vec<Time>]>,
+    shared: &'a SharedSearch,
     /// Incremental cost engine tracking the *placed* tasks only.
     engine: E,
     /// Cost of the placed prefix (admissible lower bound).
@@ -112,70 +178,20 @@ struct SearchState<'a, E: CostEngine> {
     start: Vec<Time>,
     /// Finish time of each placed node (u64::MAX = unplaced).
     finish: Vec<Time>,
-    /// Incumbent.
-    best_cost: i64,
-    best_start: Vec<Time>,
-    nodes: u64,
-    node_limit: u64,
-    deadline: Option<Instant>,
+    /// Completions that improved the shared bound as they were found;
+    /// chronologically last wins within a worker. Workers' records are
+    /// merged in deterministic unit order afterwards.
+    record: Option<(i64, Vec<Time>)>,
     exhausted: bool,
 }
 
 impl<'a, E: CostEngine> SearchState<'a, E> {
-    fn budget_exceeded(&mut self) -> bool {
-        if self.nodes >= self.node_limit {
-            return true;
-        }
-        // Polled every node: a single node enumerates up to O(T)
-        // candidate placements (milliseconds at long horizons), so any
-        // coarser polling would let the wall-clock cap overshoot by
-        // orders of magnitude; against that, one clock read per node is
-        // noise. Runs without a time limit never touch the clock.
-        if let Some(d) = self.deadline {
-            if Instant::now() >= d {
-                // Promote to a node-limit exhaustion so every later
-                // check short-circuits without reading the clock.
-                self.node_limit = 0;
-                return true;
-            }
-        }
-        false
-    }
-
-    fn dfs(&mut self, order: &[NodeId], depth: usize) {
-        self.nodes += 1;
-        if self.budget_exceeded() {
-            self.exhausted = false;
-            return;
-        }
-        if depth == order.len() {
-            if self.prefix_cost < self.best_cost {
-                self.best_cost = self.prefix_cost;
-                self.best_start = self.start.clone();
-            }
-            return;
-        }
-        let v = order[depth];
-        let len = self.inst.exec(v);
-        let w = self.inst.work_power(v) as i64;
-        let est: Time = self
-            .inst
-            .dag()
-            .predecessors(v)
-            .iter()
-            .map(|&u| {
-                debug_assert_ne!(self.finish[u as usize], Time::MAX, "topological order");
-                self.finish[u as usize]
-            })
-            .max()
-            .unwrap_or(0);
-        let lst = self.lst[v as usize];
-        if est > lst {
-            return; // placed predecessors already overflow the deadline
-        }
-        // Candidates ordered by immediate cost contribution (cheapest
-        // first), ties by earliest start.
-        let mut cands: Vec<(i64, Time)> = match &self.cand_starts {
+    /// Candidates ordered by immediate cost contribution (cheapest
+    /// first), ties by earliest start. Pure in the prefix: independent
+    /// of the shared bound, so sequential and parallel runs price and
+    /// order candidates identically.
+    fn candidates(&self, v: NodeId, est: Time, lst: Time, len: Time, w: i64) -> Vec<(i64, Time)> {
+        let mut cands: Vec<(i64, Time)> = match self.cand_starts {
             None => (est..=lst)
                 .map(|s| (self.engine.place_delta(s, len, w), s))
                 .collect(),
@@ -196,23 +212,277 @@ impl<'a, E: CostEngine> SearchState<'a, E> {
             }
         };
         cands.sort_unstable();
-        for (delta, s) in cands {
-            if self.prefix_cost + delta >= self.best_cost {
+        cands
+    }
+
+    fn place(&mut self, v: NodeId, s: Time, len: Time, w: i64, delta: i64) {
+        self.engine.apply_place(s, len, w);
+        self.prefix_cost += delta;
+        self.start[v as usize] = s;
+        self.finish[v as usize] = s + len;
+    }
+
+    fn unplace(&mut self, v: NodeId, s: Time, len: Time, w: i64, delta: i64) {
+        self.finish[v as usize] = Time::MAX;
+        self.prefix_cost -= delta;
+        self.engine.apply_place(s, len, -w);
+    }
+
+    /// Earliest start permitted by the placed predecessors.
+    fn est(&self, v: NodeId) -> Time {
+        self.inst
+            .dag()
+            .predecessors(v)
+            .iter()
+            .map(|&u| {
+                debug_assert_ne!(self.finish[u as usize], Time::MAX, "topological order");
+                self.finish[u as usize]
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn dfs(&mut self, order: &[NodeId], depth: usize) {
+        self.shared.nodes.fetch_add(1, Ordering::Relaxed);
+        if self.shared.budget_exceeded() {
+            self.exhausted = false;
+            return;
+        }
+        if depth == order.len() {
+            let prev = self
+                .shared
+                .best
+                .fetch_min(self.prefix_cost, Ordering::SeqCst);
+            if self.prefix_cost < prev {
+                self.record = Some((self.prefix_cost, self.start.clone()));
+            }
+            return;
+        }
+        let v = order[depth];
+        let len = self.inst.exec(v);
+        let w = self.inst.work_power(v) as i64;
+        let est = self.est(v);
+        let lst = self.lst[v as usize];
+        if est > lst {
+            return; // placed predecessors already overflow the deadline
+        }
+        let cands = self.candidates(v, est, lst, len, w);
+        for (i, &(delta, s)) in cands.iter().enumerate() {
+            if self.prefix_cost + delta >= self.shared.best_bound() {
                 // `delta` is sorted ascending, but later candidates can
                 // only match or exceed it — stop this branch.
                 break;
             }
-            self.engine.apply_place(s, len, w);
-            self.prefix_cost += delta;
-            self.start[v as usize] = s;
-            self.finish[v as usize] = s + len;
+            self.place(v, s, len, w, delta);
             self.dfs(order, depth + 1);
-            self.finish[v as usize] = Time::MAX;
-            self.prefix_cost -= delta;
-            self.engine.apply_place(s, len, -w);
-            if self.nodes >= self.node_limit {
+            self.unplace(v, s, len, w, delta);
+            if self.shared.should_stop() {
+                if i + 1 < cands.len() {
+                    // Truncated with candidates still unexplored.
+                    self.exhausted = false;
+                }
                 return;
             }
+        }
+    }
+}
+
+/// A chunk of the search tree executable independently of every other
+/// unit: either a contiguous slice of one expanded node's candidate
+/// list, or a completed assignment discovered while expanding.
+enum Unit<E> {
+    Complete {
+        cost: i64,
+        start: Vec<Time>,
+    },
+    Slice {
+        snap: Arc<Snapshot<E>>,
+        cands: Arc<Vec<(i64, Time)>>,
+        lo: usize,
+        hi: usize,
+    },
+}
+
+/// Frozen prefix state of one expanded node, shared by its slices.
+/// Workers clone the engine out of it — every [`CostEngine`] backend
+/// owns its data, which is what makes per-worker clones possible.
+struct Snapshot<E> {
+    engine: E,
+    prefix_cost: i64,
+    start: Vec<Time>,
+    finish: Vec<Time>,
+    depth: usize,
+}
+
+impl<'a, E: CostEngine + Clone> SearchState<'a, E> {
+    /// Expands the leftmost spine of the tree into independently
+    /// executable [`Unit`]s, emitted in exact DFS order.
+    ///
+    /// This mirrors `dfs` entry semantics step for step — node
+    /// counting, budget polling, dead prefixes, candidate pricing — and
+    /// prunes only against the *incumbent*: no completion is recorded
+    /// during expansion (completions become deferred `Complete` units),
+    /// so the shared bound still equals the incumbent everywhere the
+    /// spine looks at it, exactly as a sequential DFS would have seen
+    /// on its leftmost descent. Executing the units in order on one
+    /// thread therefore replays the sequential search bit for bit.
+    fn decompose(
+        &mut self,
+        order: &[NodeId],
+        depth: usize,
+        target: usize,
+        slices: usize,
+        units: &mut Vec<Unit<E>>,
+    ) {
+        self.shared.nodes.fetch_add(1, Ordering::Relaxed);
+        if self.shared.budget_exceeded() {
+            self.exhausted = false;
+            return;
+        }
+        if depth == order.len() {
+            units.push(Unit::Complete {
+                cost: self.prefix_cost,
+                start: self.start.clone(),
+            });
+            return;
+        }
+        let v = order[depth];
+        let len = self.inst.exec(v);
+        let w = self.inst.work_power(v) as i64;
+        let est = self.est(v);
+        let lst = self.lst[v as usize];
+        if est > lst {
+            return;
+        }
+        let cands = self.candidates(v, est, lst, len, w);
+        if self.prefix_cost + cands[0].0 >= self.shared.best_bound() {
+            // The cheapest candidate already prices out: the whole
+            // candidate loop would break immediately.
+            return;
+        }
+        if cands.len() + units.len() >= target {
+            // Wide enough here: slice this node's whole candidate list.
+            self.push_slices(cands, 0, slices, depth, units);
+        } else {
+            // Narrow node: descend into the cheapest candidate (its
+            // subtree units come first, preserving DFS order), then
+            // emit the remaining candidates as slices.
+            let (delta, s) = cands[0];
+            self.place(v, s, len, w, delta);
+            self.decompose(order, depth + 1, target, slices, units);
+            self.unplace(v, s, len, w, delta);
+            if self.shared.should_stop() {
+                if cands.len() > 1 {
+                    self.exhausted = false;
+                }
+                return;
+            }
+            if cands.len() > 1 {
+                self.push_slices(cands, 1, slices, depth, units);
+            }
+        }
+    }
+
+    /// Splits `cands[from..]` of the node at `depth` into up to
+    /// `slices` contiguous [`Unit::Slice`]s over one shared snapshot.
+    fn push_slices(
+        &self,
+        cands: Vec<(i64, Time)>,
+        from: usize,
+        slices: usize,
+        depth: usize,
+        units: &mut Vec<Unit<E>>,
+    ) {
+        let snap = Arc::new(Snapshot {
+            engine: self.engine.clone(),
+            prefix_cost: self.prefix_cost,
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            depth,
+        });
+        let n = cands.len() - from;
+        let per = n.div_ceil(slices.min(n).max(1)).max(1);
+        let cands = Arc::new(cands);
+        let mut lo = from;
+        while lo < cands.len() {
+            let hi = (lo + per).min(cands.len());
+            units.push(Unit::Slice {
+                snap: snap.clone(),
+                cands: cands.clone(),
+                lo,
+                hi,
+            });
+            lo = hi;
+        }
+    }
+}
+
+/// Units each pool thread gets on average (spine cut-off).
+const TARGET_UNITS_PER_THREAD: usize = 2;
+/// Slices a wide node is cut into, per pool thread (load balancing
+/// against skewed subtrees).
+const SLICES_PER_THREAD: usize = 4;
+
+/// Runs one unit to completion against the shared bound; returns the
+/// unit's best record and whether its subtree was fully explored.
+#[allow(clippy::too_many_arguments)]
+fn execute_unit<E: CostEngine + Clone>(
+    unit: Unit<E>,
+    inst: &Instance,
+    lst: &[Time],
+    cand_starts: Option<&[Vec<Time>]>,
+    shared: &SharedSearch,
+    order: &[NodeId],
+) -> (Option<(i64, Vec<Time>)>, bool) {
+    match unit {
+        Unit::Complete { cost, start } => {
+            let prev = shared.best.fetch_min(cost, Ordering::SeqCst);
+            ((cost < prev).then_some((cost, start)), true)
+        }
+        Unit::Slice {
+            snap,
+            cands,
+            lo,
+            hi,
+        } => {
+            if shared.stop.load(Ordering::Relaxed) {
+                return (None, false);
+            }
+            let mut st = SearchState {
+                inst,
+                lst,
+                cand_starts,
+                shared,
+                engine: snap.engine.clone(),
+                prefix_cost: snap.prefix_cost,
+                start: snap.start.clone(),
+                finish: snap.finish.clone(),
+                record: None,
+                exhausted: true,
+            };
+            let v = order[snap.depth];
+            let len = inst.exec(v);
+            let w = inst.work_power(v) as i64;
+            for i in lo..hi {
+                let (delta, s) = cands[i];
+                // The sequential `break` becomes a per-candidate skip:
+                // deltas ascend and the shared bound is monotone
+                // non-increasing, so once one candidate prices out every
+                // later one does too — skipping each is equivalent.
+                if st.prefix_cost + delta >= shared.best_bound() {
+                    continue;
+                }
+                st.place(v, s, len, w, delta);
+                st.dfs(order, snap.depth + 1);
+                st.unplace(v, s, len, w, delta);
+                if shared.should_stop() {
+                    if i + 1 < hi {
+                        st.exhausted = false;
+                    }
+                    break;
+                }
+            }
+            (st.record, st.exhausted)
         }
     }
 }
@@ -229,8 +499,14 @@ pub fn solve_exact(inst: &Instance, profile: &PowerProfile, config: BnbConfig) -
 /// All backends price placements exactly, so they return the same
 /// optimum; they differ only in speed.
 ///
+/// With `config.parallel` set and a multi-thread `cawo_par` pool
+/// current, the tree is decomposed along its leftmost spine and the
+/// resulting subtree units run on the pool against a shared atomic
+/// bound; per-unit best schedules are then merged in deterministic unit
+/// order (see docs/CONCURRENCY.md for exactly what that pins down).
+///
 /// Panics if the deadline is below the ASAP makespan.
-pub fn solve_exact_on<E: CostEngine>(
+pub fn solve_exact_on<E: CostEngine + Clone + Send + Sync>(
     inst: &Instance,
     profile: &PowerProfile,
     config: BnbConfig,
@@ -297,37 +573,81 @@ pub fn solve_exact_on<E: CostEngine>(
     }
     let base_cost = engine.total_cost() as i64;
 
+    let shared = SharedSearch {
+        best: AtomicI64::new(incumbent_cost),
+        nodes: AtomicU64::new(0),
+        node_limit: config.budget.node_limit,
+        deadline: config.budget.deadline_from_now(),
+        stop: AtomicBool::new(false),
+    };
+    let order = inst.topo_order().to_vec();
     let mut state = SearchState {
         inst,
-        lst,
-        cand_starts,
+        lst: &lst,
+        cand_starts: cand_starts.as_deref(),
+        shared: &shared,
         engine,
         prefix_cost: base_cost,
         start: vec![0; n],
         finish: vec![Time::MAX; n],
-        best_cost: incumbent_cost,
-        best_start: incumbent.starts().to_vec(),
-        nodes: 0,
-        node_limit: config.budget.node_limit,
-        deadline: config.budget.deadline_from_now(),
+        record: None,
         exhausted: true,
     };
-    let order = inst.topo_order().to_vec();
-    state.dfs(&order, 0);
 
-    let schedule = Schedule::new(state.best_start);
+    let threads = rayon::current_num_threads();
+    let (records, exhausted) = if config.parallel && threads > 1 {
+        let mut units = Vec::new();
+        state.decompose(
+            &order,
+            0,
+            threads * TARGET_UNITS_PER_THREAD,
+            threads * SLICES_PER_THREAD,
+            &mut units,
+        );
+        let spine_exhausted = state.exhausted;
+        // (best record found by the unit, whether it exhausted).
+        type UnitOutcome = (Option<(i64, Vec<Time>)>, bool);
+        let results: Vec<UnitOutcome> = units
+            .into_par_iter()
+            .map(|u| execute_unit(u, inst, &lst, cand_starts.as_deref(), &shared, &order))
+            .collect();
+        let exhausted = spine_exhausted && results.iter().all(|&(_, e)| e);
+        let records: Vec<(i64, Vec<Time>)> = results.into_iter().filter_map(|(r, _)| r).collect();
+        (records, exhausted)
+    } else {
+        state.dfs(&order, 0);
+        (state.record.into_iter().collect(), state.exhausted)
+    };
+
+    // Deterministic reduction: fold the per-unit records in unit order,
+    // strict improvement only. On one thread this reproduces the
+    // sequential "chronologically last improvement wins" rule exactly;
+    // at any thread count the folded cost is the true optimum of the
+    // explored space, because the globally best completion always
+    // passes its `fetch_min` and is recorded by whichever unit found
+    // it.
+    let mut best_cost = incumbent_cost;
+    let mut best_start = incumbent.starts().to_vec();
+    for (c, s) in records {
+        if c < best_cost {
+            best_cost = c;
+            best_start = s;
+        }
+    }
+
+    let schedule = Schedule::new(best_start);
     debug_assert!(schedule.validate(inst, horizon).is_ok());
     debug_assert_eq!(
-        state.best_cost as Cost,
+        best_cost as Cost,
         cawo_core::carbon_cost(inst, &schedule, profile),
         "engine-priced optimum disagrees with the cost oracle"
     );
     BnbResult {
-        cost: state.best_cost as Cost,
+        cost: best_cost as Cost,
         schedule,
-        optimal: state.exhausted && lossless,
-        exhausted: state.exhausted,
-        nodes: state.nodes,
+        optimal: exhausted && lossless,
+        exhausted,
+        nodes: shared.nodes.load(Ordering::Relaxed),
     }
 }
 
@@ -335,12 +655,27 @@ pub fn solve_exact_on<E: CostEngine>(
 /// instance, subject to the budget (with [`CandidateMode::Auto`]
 /// pruning the branching factor to `O(n·J)` where that is provably
 /// lossless).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct BnbSolver {
     /// Cost-engine backend pricing the placements.
     pub engine: EngineKind,
     /// Candidate-start restriction (default [`CandidateMode::Auto`]).
     pub candidates: CandidateMode,
+    /// Parallel tree exploration on the current `cawo_par` pool (see
+    /// [`BnbConfig::parallel`]); a no-op on a 1-thread pool. Defaults
+    /// to `true`, so the solver-registry path — grid runs, the CLI —
+    /// picks up pool parallelism automatically.
+    pub parallel: bool,
+}
+
+impl Default for BnbSolver {
+    fn default() -> Self {
+        BnbSolver {
+            engine: EngineKind::default(),
+            candidates: CandidateMode::default(),
+            parallel: true,
+        }
+    }
 }
 
 impl Solver for BnbSolver {
@@ -360,6 +695,7 @@ impl Solver for BnbSolver {
             budget,
             incumbent: Some(incumbent),
             candidates: self.candidates,
+            parallel: self.parallel,
         };
         let res = match self.engine {
             EngineKind::Dense => solve_exact_on::<DenseGrid>(inst, profile, config),
@@ -687,6 +1023,118 @@ mod tests {
         .unwrap();
         assert_eq!(res.status, crate::solver::SolveStatus::Feasible);
         assert_eq!(res.lower_bound, None);
+    }
+
+    /// Small random multi-unit instance: `n` tasks, random forward
+    /// edges, random mapping onto two units. Kept tiny so the `Full`
+    /// candidate enumeration exhausts in milliseconds.
+    fn random_multiunit(rng: &mut StdRng) -> (Instance, PowerProfile) {
+        let n = rng.gen_range(2..5usize);
+        let mut b = DagBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.5) {
+                    b.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+        let exec: Vec<Time> = (0..n).map(|_| rng.gen_range(1..3)).collect();
+        let total: Time = exec.iter().sum();
+        let mapping: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let unit = |p_idle, p_work| UnitInfo {
+            p_idle,
+            p_work,
+            is_link: false,
+        };
+        let inst = Instance::from_raw(
+            b.build().unwrap(),
+            exec,
+            mapping,
+            vec![
+                unit(rng.gen_range(0..2), rng.gen_range(1..5)),
+                unit(rng.gen_range(0..2), rng.gen_range(1..5)),
+            ],
+            0,
+        );
+        let horizon = total + rng.gen_range(1..=4);
+        let mid = rng.gen_range(1..horizon);
+        let profile = PowerProfile::from_parts(
+            vec![0, mid, horizon],
+            vec![rng.gen_range(0..6), rng.gen_range(0..6)],
+        );
+        (inst, profile)
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        // The decomposed parallel search must agree with the sequential
+        // DFS on cost, exhaustion and optimality — on chains (boundary
+        // candidates) and on branching multi-unit instances (full
+        // enumeration) alike.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1312);
+        for trial in 0..20 {
+            let (inst, profile) = if trial % 2 == 0 {
+                let n = rng.gen_range(1..5);
+                let exec: Vec<Time> = (0..n).map(|_| rng.gen_range(1..4)).collect();
+                let total: Time = exec.iter().sum();
+                let inst = chain_instance(exec, rng.gen_range(0..3), rng.gen_range(1..6));
+                let horizon = total + rng.gen_range(1..=total + 3);
+                let mid = rng.gen_range(1..horizon);
+                let profile = PowerProfile::from_parts(
+                    vec![0, mid, horizon],
+                    vec![rng.gen_range(0..8), rng.gen_range(0..8)],
+                );
+                (inst, profile)
+            } else {
+                random_multiunit(&mut rng)
+            };
+            let seq = solve_exact(&inst, &profile, BnbConfig::default());
+            let par = pool.install(|| {
+                solve_exact(
+                    &inst,
+                    &profile,
+                    BnbConfig {
+                        parallel: true,
+                        ..BnbConfig::default()
+                    },
+                )
+            });
+            assert_eq!(seq.cost, par.cost, "trial {trial}");
+            assert_eq!(seq.exhausted, par.exhausted, "trial {trial}");
+            assert_eq!(seq.optimal, par.optimal, "trial {trial}");
+            assert!(par.schedule.validate(&inst, profile.deadline()).is_ok());
+            assert_eq!(par.cost, carbon_cost(&inst, &par.schedule, &profile));
+        }
+    }
+
+    #[test]
+    fn parallel_flag_on_one_thread_pool_is_bit_identical() {
+        // On a 1-thread pool `parallel: true` must replay the
+        // sequential search exactly — schedule and node count included.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let inst = chain_instance(vec![2, 3, 1], 1, 4);
+        let profile = PowerProfile::from_parts(vec![0, 5, 9, 14], vec![2, 6, 1]);
+        let seq = solve_exact(&inst, &profile, BnbConfig::default());
+        let par = pool.install(|| {
+            solve_exact(
+                &inst,
+                &profile,
+                BnbConfig {
+                    parallel: true,
+                    ..BnbConfig::default()
+                },
+            )
+        });
+        assert_eq!(seq.cost, par.cost);
+        assert_eq!(seq.schedule.starts(), par.schedule.starts());
+        assert_eq!(seq.nodes, par.nodes);
     }
 
     #[test]

@@ -17,14 +17,19 @@
 //! * **Pricing** is Dantzig within cyclic *partial pricing* blocks: a
 //!   few thousand columns are scanned per iteration and the cursor
 //!   wraps, so iteration cost stays bounded on the 10⁵-column
-//!   time-indexed models this crate exists for. Degeneracy stalls flip
-//!   the solver into Bland's rule until progress resumes.
+//!   time-indexed models this crate exists for. Large blocks are
+//!   scanned in parallel on the current `cawo_par` pool with a
+//!   deterministic reduction, so results are bit-identical at any
+//!   thread count. Degeneracy stalls flip the solver into Bland's rule
+//!   (strictly sequential) until progress resumes.
 //! * **Warm starts**: [`SimplexSolver`] keeps its basis between solves;
 //!   bound changes ([`SimplexSolver::set_col_bounds`]) re-enter through
 //!   phase 1 which typically needs a handful of pivots — this is what
 //!   makes branch-and-bound nodes cheap.
 
 use std::time::Instant;
+
+use rayon::prelude::*;
 
 use crate::csc::CscMatrix;
 use crate::lu::{EtaFile, LuFactors};
@@ -120,6 +125,10 @@ const STALL_LIMIT: u64 = 300;
 const PIVOT_TOL: f64 = 1e-11;
 /// Iterations for which a column stays banned after a failed pivot.
 const BAN_SPAN: u64 = 1000;
+/// Minimum pricing-block length before the scan is split across the
+/// pool — below this the per-column work (a sparse dot product) is too
+/// cheap to amortise the spawn round-trip.
+const PAR_PRICING_MIN_COLS: usize = 4096;
 
 /// A persistent simplex instance over one [`SparseLp`]'s matrix.
 ///
@@ -624,6 +633,13 @@ impl SimplexSolver {
     /// the current phase). In Bland mode the scan starts at column 0
     /// and returns the *lowest-index* eligible column — that exactness
     /// is what makes Bland's rule an anti-cycling guarantee.
+    ///
+    /// Outside Bland mode each pricing block is scanned in parallel on
+    /// the current `cawo_par` pool when the block is large enough. The
+    /// result is bit-identical to the sequential scan: per-column
+    /// reduced costs are computed with the same arithmetic, and the
+    /// reduction keeps the *first-encountered* maximum violation
+    /// (smallest scan offset wins ties), exactly like the serial loop.
     #[allow(clippy::too_many_arguments)]
     fn price(
         &self,
@@ -637,47 +653,123 @@ impl SimplexSolver {
     ) -> Option<(usize, f64)> {
         let total = self.n + self.m;
         if bland {
+            // Bland's rule stays strictly sequential: it must return
+            // the lowest-index eligible column, and it early-returns
+            // mid-block (leaving the cursor just past that column).
             *cursor = 0;
-        }
-        let mut scanned = 0usize;
-        let mut best: Option<(usize, f64, f64)> = None; // (col, d, score)
-        while scanned < total {
-            let block_end = scanned + opts.pricing_block.min(total);
-            while scanned < block_end && scanned < total {
+            let mut scanned = 0usize;
+            while scanned < total {
                 let j = *cursor;
                 *cursor = (*cursor + 1) % total;
                 scanned += 1;
-                let st = self.vstat[j];
-                if st == VStat::Basic || banned[j] > iteration {
-                    continue;
-                }
-                let cj = if phase1 { 0.0 } else { self.obj[j] };
-                let aty = if j < self.n {
-                    self.csc.col_dot(j, y)
-                } else {
-                    y[j - self.n]
-                };
-                let d = cj - aty;
-                let viol = match st {
-                    VStat::AtLower => -d,
-                    VStat::AtUpper => d,
-                    VStat::Free => d.abs(),
-                    VStat::Basic => unreachable!(),
-                };
-                if viol > opts.dual_tol {
-                    if bland {
-                        return Some((j, d));
-                    }
-                    if best.is_none_or(|(_, _, s)| viol > s) {
-                        best = Some((j, d, viol));
-                    }
+                if let Some((_, d, _)) = self.price_col(j, y, phase1, banned, iteration, opts) {
+                    return Some((j, d));
                 }
             }
-            if best.is_some() {
-                break;
+            return None;
+        }
+        let mut scanned = 0usize;
+        while scanned < total {
+            let block = opts.pricing_block.min(total - scanned);
+            let start = *cursor;
+            let found = self.price_block(y, phase1, start, block, banned, iteration, opts);
+            *cursor = (start + block) % total;
+            scanned += block;
+            if let Some((_, j, d)) = found {
+                return Some((j, d));
             }
         }
-        best.map(|(j, d, _)| (j, d))
+        None
+    }
+
+    /// Reduced-cost test for one column: `Some((viol, d, j))` when the
+    /// column prices out. Pure in the solver state — safe to evaluate
+    /// from any thread.
+    #[inline]
+    fn price_col(
+        &self,
+        j: usize,
+        y: &[f64],
+        phase1: bool,
+        banned: &[u64],
+        iteration: u64,
+        opts: &SimplexOptions,
+    ) -> Option<(f64, f64, usize)> {
+        let st = self.vstat[j];
+        if st == VStat::Basic || banned[j] > iteration {
+            return None;
+        }
+        let cj = if phase1 { 0.0 } else { self.obj[j] };
+        let aty = if j < self.n {
+            self.csc.col_dot(j, y)
+        } else {
+            y[j - self.n]
+        };
+        let d = cj - aty;
+        let viol = match st {
+            VStat::AtLower => -d,
+            VStat::AtUpper => d,
+            VStat::Free => d.abs(),
+            VStat::Basic => unreachable!(),
+        };
+        (viol > opts.dual_tol).then_some((viol, d, j))
+    }
+
+    /// Scans one pricing block of `len` scan offsets starting at
+    /// wrap-around position `start`, returning the best violation as
+    /// `(scan offset, column, reduced cost)` — maximum violation,
+    /// smallest offset on ties. Splits the block across the current
+    /// pool when it is large enough to amortise the spawn cost.
+    #[allow(clippy::too_many_arguments)]
+    fn price_block(
+        &self,
+        y: &[f64],
+        phase1: bool,
+        start: usize,
+        len: usize,
+        banned: &[u64],
+        iteration: u64,
+        opts: &SimplexOptions,
+    ) -> Option<(usize, usize, f64)> {
+        let total = self.n + self.m;
+        // Sequential scan of a contiguous offset range, first max wins.
+        let scan_range = |lo: usize, hi: usize| -> Option<(f64, usize, usize, f64)> {
+            let mut best: Option<(f64, usize, usize, f64)> = None; // (viol, k, j, d)
+            for k in lo..hi {
+                let j = (start + k) % total;
+                if let Some((viol, d, _)) = self.price_col(j, y, phase1, banned, iteration, opts) {
+                    if best.is_none_or(|(s, _, _, _)| viol > s) {
+                        best = Some((viol, k, j, d));
+                    }
+                }
+            }
+            best
+        };
+        let threads = rayon::current_num_threads();
+        let best = if threads > 1 && len >= PAR_PRICING_MIN_COLS {
+            // Fixed-size chunks in ascending offset order; the in-order
+            // fold below makes the cross-chunk tie-break (smallest
+            // offset) identical to the sequential scan.
+            let chunks = (threads * 4).min(len);
+            let per = len.div_ceil(chunks);
+            let bests: Vec<_> = (0..chunks)
+                .map(|c| (c * per, ((c + 1) * per).min(len)))
+                .filter(|&(lo, hi)| lo < hi)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|(lo, hi)| scan_range(lo, hi))
+                .collect();
+            let mut best: Option<(f64, usize, usize, f64)> = None;
+            for b in bests.into_iter().flatten() {
+                if best.is_none_or(|(s, _, _, _)| b.0 > s) {
+                    best = Some(b);
+                }
+            }
+            best
+        } else {
+            scan_range(0, len)
+        };
+        best.map(|(_, k, j, d)| (k, j, d))
     }
 
     /// Value of a nonbasic column implied by its status.

@@ -112,6 +112,33 @@ fn presolve_preserves_objectives() {
 }
 
 #[test]
+fn parallel_pricing_is_bit_identical() {
+    // A model wide enough to cross the parallel-pricing threshold
+    // (n + m ≥ 4096 columns per block) must solve to bit-identical
+    // results on 1-thread and 4-thread pools: same pivot sequence,
+    // same iteration count, same objective bits. This is the
+    // determinism contract of docs/CONCURRENCY.md at the LP layer.
+    let mut rng = StdRng::seed_from_u64(90_210);
+    let (lp, _) = random_feasible_lp(&mut rng, 4500, 300);
+    let solve_on = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| solve(&lp, &SimplexOptions::default()))
+    };
+    let one = solve_on(1);
+    let four = solve_on(4);
+    assert_eq!(one.status, LpStatus::Optimal);
+    assert_eq!(one.status, four.status);
+    assert_eq!(one.iterations, four.iterations);
+    assert_eq!(one.objective.to_bits(), four.objective.to_bits());
+    for (a, b) in one.x.iter().zip(&four.x) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
 fn warm_start_equals_cold_start() {
     let mut rng = StdRng::seed_from_u64(424_242);
     for trial in 0..80 {

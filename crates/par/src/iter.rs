@@ -1,0 +1,286 @@
+//! The rayon-prelude subset: `par_iter()` / `into_par_iter()` plus the
+//! adaptors the workspace uses.
+//!
+//! Unlike rayon's lazily-fused pipelines, this implementation is
+//! *eager*: each adaptor materialises its input, runs one chunked
+//! parallel pass over it, and hands an ordered `Vec` to the next
+//! adaptor. That trades some allocation for a much smaller core and —
+//! crucial to the workspace's determinism contract (see
+//! docs/CONCURRENCY.md) — makes every adaptor's output ordered exactly
+//! like the sequential iterator's, independent of thread count and
+//! scheduling.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::registry::Registry;
+use crate::scope::scope;
+
+/// How many chunks each pool thread gets on average. >1 so a skewed
+/// chunk (one expensive item) can be load-balanced around; small enough
+/// that per-chunk overhead stays negligible for coarse items.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Runs `per_chunk` over contiguous chunks of `items`, in parallel on
+/// the current pool, and returns the concatenated outputs **in input
+/// order**. Sequential when the pool has 1 thread or there is at most
+/// one item.
+fn drive<T, U, F>(items: Vec<T>, per_chunk: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> Vec<U> + Sync,
+{
+    let registry = Registry::current();
+    let n = items.len();
+    if !registry.is_parallel() || n <= 1 {
+        return per_chunk(items);
+    }
+    let threads = registry.num_threads();
+    let n_chunks = (threads * CHUNKS_PER_THREAD).min(n).max(1);
+    // Near-equal contiguous chunks, remainder spread over the first
+    // ones, tagged with their position.
+    let mut queue: VecDeque<(usize, Vec<T>)> = VecDeque::with_capacity(n_chunks);
+    {
+        let base = n / n_chunks;
+        let extra = n % n_chunks;
+        let mut items = items.into_iter();
+        for idx in 0..n_chunks {
+            let len = base + usize::from(idx < extra);
+            queue.push_back((idx, items.by_ref().take(len).collect()));
+        }
+    }
+    let queue = Mutex::new(queue);
+    let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let work = || loop {
+        let chunk = queue.lock().unwrap().pop_front();
+        let Some((idx, chunk)) = chunk else { break };
+        let out = per_chunk(chunk);
+        results.lock().unwrap().push((idx, out));
+    };
+    scope(|s| {
+        // One drainer per pool thread; the calling thread drains too.
+        for _ in 0..threads.min(n_chunks) {
+            s.spawn(|_| work());
+        }
+        work();
+    });
+    let mut tagged = results.into_inner().unwrap();
+    tagged.sort_unstable_by_key(|&(idx, _)| idx);
+    tagged.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+/// An eager parallel iterator over an already-materialised sequence.
+///
+/// Produced by [`IntoParallelIterator::into_par_iter`] /
+/// [`IntoParallelRefIterator::par_iter`]; consumed by the adaptors
+/// below. All outputs are ordered like the sequential equivalent.
+#[derive(Debug)]
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let squares: Vec<i32> = (0..5).into_par_iter().map(|x| x * x).collect();
+    /// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    /// ```
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: drive(self.items, |chunk| chunk.into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Applies `f` in parallel, keeping the `Some` results in order.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let odd: Vec<u32> = (0..10u32).into_par_iter().filter_map(|x| (x % 2 == 1).then_some(x)).collect();
+    /// assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+    /// ```
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync + Send,
+    {
+        ParIter {
+            items: drive(self.items, |chunk| {
+                chunk.into_iter().filter_map(&f).collect()
+            }),
+        }
+    }
+
+    /// Keeps the items matching `pred`, in order, testing in parallel.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let small: Vec<i32> = vec![5, 1, 9, 2].into_par_iter().filter(|&x| x < 5).collect();
+    /// assert_eq!(small, vec![1, 2]);
+    /// ```
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        ParIter {
+            items: drive(self.items, |chunk| {
+                chunk.into_iter().filter(|x| pred(x)).collect()
+            }),
+        }
+    }
+
+    /// Runs `f` on every item in parallel, for its side effects.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// let total = AtomicU64::new(0);
+    /// (1..=4u64).into_par_iter().for_each(|x| {
+    ///     total.fetch_add(x, Ordering::Relaxed);
+    /// });
+    /// assert_eq!(total.load(Ordering::Relaxed), 10);
+    /// ```
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        drive(self.items, |chunk| {
+            chunk.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    /// Sums the items **in input order** (a sequential fold over the
+    /// materialised sequence, so floating-point sums are bit-identical
+    /// to the sequential iterator's at any thread count — part of the
+    /// determinism contract). Parallelism comes from the adaptors
+    /// before the sum, where the real work is.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let s: i64 = (1..=10i64).into_par_iter().map(|x| x * x).sum();
+    /// assert_eq!(s, 385);
+    /// ```
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + Send,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects into any [`FromIterator`] collection, in input order.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// use std::collections::HashMap;
+    /// let m: HashMap<u32, u32> = (0..3u32).into_par_iter().map(|k| (k, k + 10)).collect();
+    /// assert_eq!(m[&2], 12);
+    /// ```
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// assert_eq!((0..7).into_par_iter().count(), 7);
+    /// ```
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<A: Send, B: Send> ParIter<(A, B)> {
+    /// Splits an iterator of pairs into two collections, both in input
+    /// order.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let (xs, ys): (Vec<i32>, Vec<i32>) =
+    ///     (0..3).into_par_iter().map(|i| (i, -i)).unzip();
+    /// assert_eq!(xs, vec![0, 1, 2]);
+    /// assert_eq!(ys, vec![0, -1, -2]);
+    /// ```
+    pub fn unzip<FromA, FromB>(self) -> (FromA, FromB)
+    where
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.items.into_iter().unzip()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value. Blanket-implemented for
+/// every [`IntoIterator`] with `Send` items, mirroring how the
+/// workspace used the sequential shim.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let v: Vec<i32> = vec![3, 1].into_par_iter().map(|x| x + 1).collect();
+    /// assert_eq!(v, vec![4, 2]);
+    /// ```
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`] over `&self`, i.e. `par_iter()`.
+/// Blanket-implemented for every collection whose reference iterates
+/// (`Vec`, slices, maps, …).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference into `self`).
+    type Item: Send + 'data;
+    /// The parallel iterator type.
+    type Iter;
+    /// Parallel iteration over shared references.
+    ///
+    /// ```
+    /// use cawo_par::prelude::*;
+    /// let words = vec!["a", "bb", "ccc"];
+    /// let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+    /// assert_eq!(lens, vec![1, 2, 3]);
+    /// ```
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = ParIter<Self::Item>;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Structured spawning: run borrowed jobs, wait for all of them.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::registry::{erase_job, Latch, Registry};
+
+/// A scope for spawning jobs that may borrow from the enclosing stack
+/// frame. Created by [`scope`]; see there for the guarantees.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding jobs + 1 for the scope body itself.
+    pending: AtomicUsize,
+    latch: Latch,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Binds `'scope` invariantly, like rayon's marker.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the current pool. The closure may borrow
+    /// anything that outlives the [`scope`] call; it runs at latest
+    /// when `scope` waits for completion, possibly on another thread.
+    /// Spawned jobs may spawn further jobs onto the same scope.
+    ///
+    /// On a 1-thread pool the body runs immediately, inline — spawn
+    /// order is execution order.
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU32, Ordering};
+    /// let hits = AtomicU32::new(0);
+    /// cawo_par::scope(|s| {
+    ///     for _ in 0..5 {
+    ///         s.spawn(|_| {
+    ///             hits.fetch_add(1, Ordering::Relaxed);
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(hits.load(Ordering::Relaxed), 5);
+    /// ```
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if !self.registry.is_parallel() {
+            // Inline execution; panics propagate straight out of the
+            // scope body, consistent with "first panic wins".
+            body(self);
+            return;
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        struct ScopePtr<'s>(*const Scope<'s>);
+        unsafe impl Send for ScopePtr<'_> {}
+        let ptr = ScopePtr(self as *const Scope<'scope>);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let ptr = ptr; // capture the whole Send wrapper, not the raw field
+                           // SAFETY: the Scope outlives every spawned job — `scope`
+                           // blocks until `pending` reaches zero.
+            let scope: &Scope<'scope> = unsafe { &*ptr.0 };
+            let r = catch_unwind(AssertUnwindSafe(|| body(scope)));
+            if let Err(p) = r {
+                let mut slot = scope.panic.lock().unwrap();
+                slot.get_or_insert(p);
+            }
+            scope.complete_job();
+        });
+        // SAFETY: as above, the job cannot outlive the scope.
+        self.registry.inject(unsafe { erase_job(job) });
+    }
+
+    fn complete_job(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.latch.set();
+        }
+    }
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Creates a scope in which jobs borrowing from the current stack frame
+/// can be spawned; returns only after the body **and every spawned job
+/// (transitively)** have completed. The calling thread executes pool
+/// work while it waits.
+///
+/// ```
+/// let mut left = 0;
+/// let mut right = 0;
+/// cawo_par::scope(|s| {
+///     s.spawn(|_| left = 1);
+///     s.spawn(|_| right = 2);
+/// });
+/// assert_eq!(left + right, 3);
+/// ```
+///
+/// # Panics
+///
+/// All jobs are waited for even when one panics. A panic in the scope
+/// body is re-thrown first; otherwise the first recorded job panic is
+/// re-thrown (which job is "first" under contention is not specified —
+/// same contract as rayon).
+pub fn scope<'scope, F, R>(body: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = Registry::current();
+    let s = Scope {
+        registry: registry.clone(),
+        pending: AtomicUsize::new(1),
+        latch: Latch::new(),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| body(&s)));
+    s.complete_job();
+    registry.wait_until(&s.latch);
+    match result {
+        Err(p) => resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = s.panic.lock().unwrap().take() {
+                resume_unwind(p);
+            }
+            r
+        }
+    }
+}

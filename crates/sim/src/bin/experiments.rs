@@ -6,7 +6,7 @@
 //! experiments [--scale quick|medium|full] [--seed N]
 //!             [--engine dense|interval|fenwick]
 //!             [--solver NAME[,NAME...]] [--solver-budget SPEC]
-//!             [--trace CSV] [--serial-timing]
+//!             [--trace CSV] [--serial-timing] [--threads N]
 //! ```
 //!
 //! Heuristic rows carry `kind = variant` and an empty status; exact
@@ -16,6 +16,10 @@
 //! bound. `--trace` adds a measured carbon-intensity trace as a fifth
 //! scenario column next to S1–S4; `--serial-timing` times algorithms
 //! one at a time so per-algorithm wall-clocks are contention-free.
+//! `--threads N` runs the grid on a dedicated N-thread pool (`1` =
+//! sequential, `0` = all cores — the default); every row records the
+//! effective worker count in the trailing `threads` column, and
+//! results are bit-identical at every setting (docs/CONCURRENCY.md).
 
 use cawo_core::EngineKind;
 use cawo_exact::{Budget, SolverKind};
@@ -76,6 +80,11 @@ fn main() {
                 });
             }
             "--serial-timing" => cfg.serial_timing = true,
+            "--threads" => {
+                cfg.threads = next(&args, &mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("expected --threads <N> (0 = all cores)"));
+            }
             a => die(&format!("unexpected argument {a}")),
         }
         i += 1;
@@ -98,13 +107,20 @@ fn main() {
             ""
         },
     );
+    // The worker count recorded per row: the dedicated pool's size, or
+    // the ambient pool's when no override was given.
+    let threads = if cfg.threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        cfg.threads
+    };
     let results = run_grid(&cfg);
     let skipped = cfg.grid().len() - results.len();
-    eprintln!("{} instances done", results.len());
+    eprintln!("{} instances done on {threads} thread(s)", results.len());
 
     println!(
         "instance,family,size,size_class,cluster,scenario,deadline,\
-         n_tasks,gc_nodes,asap_makespan,kind,algorithm,cost,millis,status,nodes,lower_bound"
+         n_tasks,gc_nodes,asap_makespan,kind,algorithm,cost,millis,status,nodes,lower_bound,threads"
     );
     for r in &results {
         let prefix = format!(
@@ -124,7 +140,7 @@ fn main() {
         );
         for (i, &v) in r.variants.iter().enumerate() {
             println!(
-                "{prefix},variant,{},{},{:.4},,,",
+                "{prefix},variant,{},{},{:.4},,,,{threads}",
                 v.name(),
                 r.cost[i],
                 r.millis[i],
@@ -132,7 +148,7 @@ fn main() {
         }
         for row in &r.solver_rows {
             println!(
-                "{prefix},solver,{},{},{:.4},{},{},{}",
+                "{prefix},solver,{},{},{:.4},{},{},{},{threads}",
                 row.kind.name(),
                 row.cost.map_or_else(String::new, |c| c.to_string()),
                 row.millis,

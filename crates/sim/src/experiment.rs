@@ -177,6 +177,14 @@ pub struct ExperimentConfig {
     /// so per-algorithm wall-clock numbers (Fig. 8/12) are not
     /// distorted by memory-bandwidth and scheduling contention.
     pub serial_timing: bool,
+    /// Worker threads for the grid run. `0` (the default) uses the
+    /// ambient `cawo_par` pool — all cores unless `CAWO_THREADS` says
+    /// otherwise; any other value runs the grid on a dedicated pool of
+    /// exactly that many threads (`1` = fully sequential). Results are
+    /// bit-identical at every setting (see docs/CONCURRENCY.md); only
+    /// wall-clock and the contention caveat on
+    /// [`ExperimentConfig::serial_timing`] change.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -192,6 +200,7 @@ impl ExperimentConfig {
             engine: EngineKind::default(),
             trace: None,
             serial_timing: false,
+            threads: 0,
         }
     }
 
@@ -382,7 +391,22 @@ fn profile_seed(master: u64, spec: &InstanceSpec) -> u64 {
 /// (workflow, cluster) pair. Instances whose profile fails to build
 /// (e.g. an unloadable trace CSV) are skipped with a stderr warning —
 /// see [`run_one`] to handle the error per instance instead.
+///
+/// [`ExperimentConfig::threads`] selects the pool: `0` runs on the
+/// ambient pool, `n > 0` on a dedicated `n`-thread pool for the whole
+/// grid (including the nested per-variant parallelism of [`run_one`]).
 pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
+    match cfg.threads {
+        0 => run_grid_inner(cfg),
+        n => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("pool construction cannot fail")
+            .install(|| run_grid_inner(cfg)),
+    }
+}
+
+fn run_grid_inner(cfg: &ExperimentConfig) -> Vec<SpecResult> {
     let specs = cfg.grid();
     // Prepare unique (workflow, cluster) instances in parallel.
     let mut keys: Vec<(Family, Option<usize>, ClusterKind)> = specs

@@ -27,9 +27,24 @@ fn main() {
     let opts = Options::parse(&args[1..]).unwrap_or_else(|e| die(&format!("{e}\n{USAGE}")));
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
-        "schedule" => schedule_cmd(&opts),
-        "evaluate" => evaluate_cmd(&opts),
+        "schedule" => with_pool(&opts, || schedule_cmd(&opts)),
+        "evaluate" => with_pool(&opts, || evaluate_cmd(&opts)),
         other => die(&format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+/// Runs `f` on a dedicated pool of `--threads` workers, or directly on
+/// the ambient pool when no override was given. Schedules and costs
+/// are bit-identical either way (docs/CONCURRENCY.md); the flag only
+/// trades wall-clock against CPU use.
+fn with_pool(o: &Options, f: impl FnOnce() + Send) {
+    match o.threads {
+        0 => f(),
+        n => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("pool construction cannot fail")
+            .install(f),
     }
 }
 
@@ -39,18 +54,22 @@ const USAGE: &str = "usage:
                      [--solver bnb|dp|dp-pseudo|eschedule|ilp|milp|lp|milp-dense|lp-dense]
                      [--solver-budget SPEC] [--scenario S1..S4] [--trace CSV]
                      [--deadline 1|1.5|2|3] [--cluster tiny|small|large]
-                     [--engine dense|interval|fenwick] [--seed N] [--gantt]
+                     [--engine dense|interval|fenwick] [--seed N]
+                     [--threads N] [--gantt]
   cawosched evaluate [--dot FILE|-] [--json FILE] [--scenario S1..S4]
                      [--solver NAME[,NAME...]] [--solver-budget SPEC]
                      [--trace CSV] [--deadline ...] [--cluster ...]
                      [--engine dense|interval|fenwick] [--seed N]
+                     [--threads N]
 
   --trace replaces the synthetic S1..S4 scenario with a measured
   carbon-intensity trace (CSV rows `time,intensity`); --engine picks the
   incremental cost backend (default: interval). --solver runs an exact
   solver instead of (schedule) or after (evaluate) the heuristics;
   --solver-budget caps it with a node count, `250ms`/`2s` wall-clock,
-  or both (`500000,250ms`).";
+  or both (`500000,250ms`). --threads runs solvers and heuristics on a
+  dedicated pool of N workers (1 = sequential, 0 = all cores — the
+  default); results are identical at any thread count.";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -73,6 +92,7 @@ struct Options {
     cluster: String,
     engine: EngineKind,
     gantt: bool,
+    threads: usize,
 }
 
 impl Options {
@@ -93,6 +113,7 @@ impl Options {
             cluster: "tiny".to_string(),
             engine: EngineKind::default(),
             gantt: false,
+            threads: 0,
         };
         let mut i = 0;
         let next = |i: &mut usize| -> Result<String, String> {
@@ -155,6 +176,7 @@ impl Options {
                     o.engine = EngineKind::parse(&v).ok_or(format!("unknown engine {v}"))?;
                 }
                 "--gantt" => o.gantt = true,
+                "--threads" => o.threads = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
                 a => return Err(format!("unknown argument {a}")),
             }
             i += 1;

@@ -1,55 +1,24 @@
-//! Sequential stand-in for the `rayon` prelude.
+//! Facade mapping the `rayon` dependency name onto [`cawo_par`], the
+//! workspace's own work-stealing thread pool.
 //!
 //! This build environment has no registry access, so the workspace
-//! vendors a shim in which `par_iter()` / `into_par_iter()` return the
-//! ordinary sequential iterators. All adaptor calls (`map`, `collect`,
-//! `sum`, …) then resolve to [`std::iter::Iterator`] methods, so call
-//! sites compile unchanged and produce identical (deterministically
-//! ordered) results — just without the parallel speed-up. Swapping the
-//! real rayon back in is a one-line manifest change.
+//! vendors its parallel runtime. Earlier revisions shipped a
+//! *sequential* shim here; today the facade re-exports `cawo_par`,
+//! which executes `par_iter()` / `join` / `scope` on a real pool
+//! (per-worker deques, work stealing, `CAWO_THREADS` / `ThreadPool`
+//! sizing) while keeping every adaptor's output ordered exactly like
+//! the sequential iterator's — see `docs/CONCURRENCY.md` for the
+//! determinism contract. Swapping the real rayon back in remains a
+//! one-line manifest change, because only the rayon API subset is
+//! exposed.
 
 #![warn(missing_docs)]
 
+pub use cawo_par::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
 pub mod prelude {
-    //! Drop-in subset of `rayon::prelude`.
-
-    /// Mirror of `rayon::prelude::IntoParallelIterator`, backed by
-    /// [`IntoIterator`].
-    pub trait IntoParallelIterator {
-        /// The produced item type.
-        type Item;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// "Parallel" iteration — sequential in this shim.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Mirror of `rayon::prelude::IntoParallelRefIterator`.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The produced item type (a reference).
-        type Item: 'data;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// "Parallel" iteration over `&self` — sequential in this shim.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-    where
-        &'data C: IntoIterator,
-    {
-        type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
+    //! Drop-in subset of `rayon::prelude`, backed by `cawo_par`.
+    pub use cawo_par::prelude::*;
 }
