@@ -7,26 +7,36 @@
 //! cargo run --release -p cawo_bench --bin bench_lp
 //! ```
 //!
-//! Three sections:
+//! Five sections:
 //!
 //! * **parity ladder** — chain instances small enough for the dense
 //!   tableau: both engines solve the *identical* `lp_relaxation` model
 //!   (via `sparse_from_lp_problem`) and must agree on the objective;
 //!   the wall-clock ratio is the dense-vs-sparse gap.
 //! * **sparse-only ladder** — the compact windowed model
-//!   (`SparseA4Model`) at chain lengths far beyond the dense cap,
-//!   showing the new ceiling.
+//!   (`SparseA4Model`) at 25–1000 task chains. Every row records the
+//!   iteration count and the pricing rule that produced it; rows that
+//!   hit the wall-clock cap report the Lagrangian dual bound the
+//!   engine proved by then instead of a stale primal objective.
 //! * **headline** — the paper-grid 200-task instance (Fig. 7 regime):
 //!   `--solver lp` and `--solver milp` through the `Solver` registry
-//!   under a wall-clock budget, recording status, bound and cost.
-//! * **threads ladder** — the 100-task compact model (20k+ columns,
-//!   past the parallel-pricing threshold) solved on dedicated
-//!   `cawo_par` pools of 1/2/4/8 workers; objectives are asserted
-//!   bit-identical across the ladder (the deterministic-reduction
-//!   contract), and `pricing_threads_speedup` is 1-thread seconds over
-//!   each. Speedups saturate at the host's physical core count.
+//!   under a wall-clock budget, recording status, bound, cost, and the
+//!   root-cut statistics. The seed engine (Dantzig primal only, no
+//!   cuts) left this row `feasible` at the 60 s budget; the
+//!   Devex/dual/cut engine is expected to close it to `optimal`.
+//! * **threads ladder** — the 100-task compact model solved on
+//!   dedicated `cawo_par` pools of 1/2/4/8 workers; objectives are
+//!   asserted bit-identical across the ladder (the deterministic-
+//!   reduction contract). Each row records `par_gate_cols`, the
+//!   work-based column threshold the engine derived for enabling the
+//!   parallel pricing sweep — the old fixed 4096-column gate is gone.
+//! * **warm resolve** — the dual-simplex acceptance check: solve the
+//!   100-task model cold, clamp one active start column to zero (a
+//!   branch step), then re-solve warm from the incumbent basis versus
+//!   cold from scratch. `warm_resolve_iter_ratio` is warm iterations
+//!   over cold iterations; the dual repair is expected to need ≤ 10%.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cawo_bench::fixtures::lp_chain_fixture;
 use cawo_core::Instance;
@@ -36,6 +46,7 @@ use cawo_exact::{
 };
 use cawo_graph::generator::{instantiate, Family, PaperInstance};
 use cawo_heft::heft_schedule;
+use cawo_lp::{LpStatus, SimplexOptions, SimplexSolver};
 use cawo_platform::{Cluster, DeadlineFactor, ProfileConfig, Scenario, Time};
 
 struct Row {
@@ -50,6 +61,39 @@ struct Row {
     /// Pool size the row was measured on (1 = sequential; only the
     /// threads ladder varies this).
     threads: usize,
+    /// Simplex iterations (for solver rows: LP iterations across the
+    /// whole run, cuts and branching included).
+    iters: u64,
+    /// Pricing rule the engine reported ("devex" / "dantzig"; "-" for
+    /// the dense tableau).
+    pricing: String,
+    /// Root cuts appended (solver rows only).
+    cuts: u32,
+    /// Best proven lower bound when the row did not reach Optimal.
+    dual_bound: Option<f64>,
+    /// Work-based parallel-pricing gate (columns) the engine derived.
+    par_gate_cols: usize,
+}
+
+impl Row {
+    fn new(section: &'static str, tasks: usize, engine: &'static str) -> Self {
+        Row {
+            section,
+            tasks,
+            engine,
+            cols: 0,
+            rows: 0,
+            seconds: 0.0,
+            objective: f64::NAN,
+            status: String::new(),
+            threads: 1,
+            iters: 0,
+            pricing: "-".into(),
+            cuts: 0,
+            dual_bound: None,
+            par_gate_cols: 0,
+        }
+    }
 }
 
 /// Pool sizes of the threads ladder.
@@ -81,30 +125,30 @@ fn main() {
             other => (f64::NAN, format!("{other:?}")),
         });
         rows.push(Row {
-            section: "parity",
-            tasks: n,
-            engine: "dense",
             cols: dense_lp.num_vars,
             rows: dense_lp.rows.len(),
             seconds: secs_d,
             objective: obj_d,
             status: status_d,
-            threads: 1,
+            ..Row::new("parity", n, "dense")
         });
+        let mut last_iters = 0u64;
+        let mut last_pricing = "-";
         let (secs_s, obj_s, status_s) = median(3, || {
             let sol = cawo_lp::solve(&sparse_lp, &cawo_lp::SimplexOptions::default());
+            last_iters = sol.iterations;
+            last_pricing = sol.stats.pricing;
             (sol.objective, format!("{:?}", sol.status).to_lowercase())
         });
         rows.push(Row {
-            section: "parity",
-            tasks: n,
-            engine: "sparse",
             cols: sparse_lp.num_cols(),
             rows: sparse_lp.num_rows(),
             seconds: secs_s,
             objective: obj_s,
             status: status_s,
-            threads: 1,
+            iters: last_iters,
+            pricing: last_pricing.into(),
+            ..Row::new("parity", n, "sparse")
         });
         assert!(
             (obj_d - obj_s).abs() <= 1e-6 * (1.0 + obj_d.abs()),
@@ -114,29 +158,33 @@ fn main() {
 
     // --- Sparse-only ladder: the compact model beyond the dense cap.
     // Cold starts (no incumbent crash basis here) pay the composite
-    // phase 1 in full, so each solve carries a wall-clock cap and an
-    // honest status.
-    for &n in &[25usize, 50, 100, 200] {
+    // phase 1 in full, so each solve carries a wall-clock cap; capped
+    // rows surface the proven Lagrangian dual bound, not a stale
+    // primal objective.
+    for &n in &[25usize, 50, 100, 200, 500, 1000] {
         let (inst, profile) = lp_chain_fixture(n, 2 * n as Time, 6, &[0, 4]);
         let model = SparseA4Model::build(&inst, &profile);
+        // The 500/1000-task rungs exist to prove a useful dual bound in
+        // single-digit seconds, not to grind to optimality.
+        let cap = if n >= 500 { 6 } else { 30 };
         let opts = cawo_lp::SimplexOptions {
-            time_limit: Some(std::time::Duration::from_secs(30)),
+            time_limit: Some(Duration::from_secs(cap)),
             ..cawo_lp::SimplexOptions::default()
         };
-        let (secs, obj, status) = median(1, || {
-            let sol = cawo_lp::solve(&model.lp, &opts);
-            (sol.objective, format!("{:?}", sol.status).to_lowercase())
-        });
+        let t0 = Instant::now();
+        let sol = cawo_lp::solve(&model.lp, &opts);
+        let secs = t0.elapsed().as_secs_f64();
+        let optimal = sol.status == LpStatus::Optimal;
         rows.push(Row {
-            section: "sparse_only",
-            tasks: n,
-            engine: "sparse",
             cols: model.lp.num_cols(),
             rows: model.lp.num_rows(),
             seconds: secs,
-            objective: obj,
-            status,
-            threads: 1,
+            objective: if optimal { sol.objective } else { f64::NAN },
+            status: format!("{:?}", sol.status).to_lowercase(),
+            iters: sol.iterations,
+            pricing: sol.stats.pricing.into(),
+            dual_bound: if optimal { None } else { sol.dual_bound },
+            ..Row::new("sparse_only", n, "sparse")
         });
     }
 
@@ -160,30 +208,31 @@ fn main() {
         let t0 = Instant::now();
         let res = solver.solve(&inst, &profile, budget);
         let secs = t0.elapsed().as_secs_f64();
-        let (status, cost, lb) = match &res {
+        let (status, cost, lb, stats) = match &res {
             Ok(r) => (
                 r.status.name().to_string(),
                 r.cost as f64,
-                r.lower_bound.map(|b| b as f64).unwrap_or(f64::NAN),
+                r.lower_bound.map(|b| b as f64),
+                r.stats,
             ),
-            Err(e) => (format!("{e}"), f64::NAN, f64::NAN),
+            Err(e) => (format!("{e}"), f64::NAN, None, Default::default()),
         };
         eprintln!(
-            "headline {kind}: {status} cost {cost} lb {lb} in {secs:.1}s \
-             ({} cols, {} rows)",
-            model.lp.num_cols(),
-            model.lp.num_rows()
+            "headline {kind}: {status} cost {cost} lb {lb:?} in {secs:.1}s \
+             ({} lp iters, {} dual, {} cuts)",
+            stats.lp_iterations, stats.dual_iterations, stats.cuts,
         );
         rows.push(Row {
-            section: "headline",
-            tasks: 200,
-            engine: kind.name(),
             cols: model.lp.num_cols(),
             rows: model.lp.num_rows(),
             seconds: secs,
             objective: cost,
             status,
-            threads: 1,
+            iters: stats.lp_iterations,
+            pricing: stats.pricing.into(),
+            cuts: stats.cuts,
+            dual_bound: lb,
+            ..Row::new("headline", 200, kind.name())
         });
     }
 
@@ -193,7 +242,7 @@ fn main() {
         let (inst, profile) = lp_chain_fixture(n, 2 * n as Time, 6, &[0, 4]);
         let model = SparseA4Model::build(&inst, &profile);
         let opts = cawo_lp::SimplexOptions {
-            time_limit: Some(std::time::Duration::from_secs(120)),
+            time_limit: Some(Duration::from_secs(120)),
             ..cawo_lp::SimplexOptions::default()
         };
         let mut reference: Option<u64> = None;
@@ -202,8 +251,10 @@ fn main() {
                 .num_threads(threads)
                 .build()
                 .expect("pool construction cannot fail");
+            let mut last = (0u64, "-", 0usize);
             let (secs, obj, status) = median(1, || {
                 let sol = pool.install(|| cawo_lp::solve(&model.lp, &opts));
+                last = (sol.iterations, sol.stats.pricing, sol.stats.par_gate_cols);
                 (sol.objective, format!("{:?}", sol.status).to_lowercase())
             });
             if status == "optimal" {
@@ -217,18 +268,91 @@ fn main() {
                 }
             }
             rows.push(Row {
-                section: "threads",
-                tasks: n,
-                engine: "sparse",
                 cols: model.lp.num_cols(),
                 rows: model.lp.num_rows(),
                 seconds: secs,
                 objective: obj,
                 status,
                 threads,
+                iters: last.0,
+                pricing: last.1.into(),
+                par_gate_cols: last.2,
+                ..Row::new("threads", n, "sparse")
             });
         }
     }
+
+    // --- Warm resolve: dual repair after a branch-style bound clamp. ---
+    let warm_ratio = {
+        let n = 100usize;
+        let (inst, profile) = lp_chain_fixture(n, 2 * n as Time, 6, &[0, 4]);
+        let model = SparseA4Model::build(&inst, &profile);
+        let opts = SimplexOptions::default();
+        let mut solver = SimplexSolver::new(&model.lp);
+        let first = solver.solve(&opts);
+        assert_eq!(first.status, LpStatus::Optimal, "warm_resolve cold solve");
+        // Branch the way the MILP does: clamp the most active *start*
+        // column of the last task with a non-degenerate window to
+        // zero, making the incumbent basis primal-infeasible while the
+        // task can still start elsewhere. A *sink* task keeps the
+        // perturbation local — the node-level reality of a B&B window
+        // split — whereas clamping the chain's first task forces every
+        // successor to move and measures a full re-solve, and clamping
+        // an arbitrary argmax column (e.g. a brown-usage variable)
+        // would make the LP infeasible and measure phase 1.
+        let mut j = usize::MAX;
+        let mut best_mass = f64::NEG_INFINITY;
+        for v in (0..model.node_count()).rev() {
+            let v = v as cawo_graph::NodeId;
+            let (est, lst) = model.window(v);
+            if lst <= est {
+                continue;
+            }
+            for t in est..=lst {
+                let c = model.s_col(v, t) as usize;
+                if first.x[c] > best_mass {
+                    best_mass = first.x[c];
+                    j = c;
+                }
+            }
+            if j != usize::MAX {
+                break;
+            }
+        }
+        assert!(j < model.lp.num_cols(), "no branchable start column");
+        let mut branched = model.lp.clone();
+        branched.set_bounds(j, 0.0, 0.0);
+
+        let t0 = Instant::now();
+        solver.set_col_bounds(j, 0.0, 0.0);
+        let warm = solver.solve(&opts);
+        let warm_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let cold = cawo_lp::solve(&branched, &opts);
+        let cold_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(warm.status, cold.status, "warm/cold verdicts diverge");
+        if warm.status == LpStatus::Optimal {
+            assert!(
+                (warm.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+                "warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+        for (engine, sol, secs) in [("warm", &warm, warm_secs), ("cold", &cold, cold_secs)] {
+            rows.push(Row {
+                cols: model.lp.num_cols(),
+                rows: model.lp.num_rows(),
+                seconds: secs,
+                objective: sol.objective,
+                status: format!("{:?}", sol.status).to_lowercase(),
+                iters: sol.iterations,
+                pricing: sol.stats.pricing.into(),
+                ..Row::new("warm_resolve", n, engine)
+            });
+        }
+        warm.iterations as f64 / (cold.iterations as f64).max(1.0)
+    };
 
     // --- Emit JSON. ---
     let speedup_at = |n: usize| -> f64 {
@@ -245,7 +369,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"section\": \"{}\", \"tasks\": {}, \"engine\": \"{}\", \"cols\": {}, \
              \"rows\": {}, \"seconds\": {:.3e}, \"objective\": {}, \"status\": \"{}\", \
-             \"threads\": {}}}{}\n",
+             \"threads\": {}, \"iters\": {}, \"pricing\": \"{}\", \"cuts\": {}, \
+             \"dual_bound\": {}, \"par_gate_cols\": {}}}{}\n",
             r.section,
             r.tasks,
             r.engine,
@@ -259,6 +384,13 @@ fn main() {
             },
             r.status,
             r.threads,
+            r.iters,
+            r.pricing,
+            r.cuts,
+            r.dual_bound
+                .map(|b| format!("{b:.6}"))
+                .unwrap_or_else(|| "null".into()),
+            r.par_gate_cols,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -285,15 +417,23 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     ));
+    json.push_str(&format!(
+        "  \"warm_resolve_iter_ratio\": {warm_ratio:.4},\n"
+    ));
     json.push_str(
         "  \"note\": \"parity = identical lp_relaxation models solved by both engines \
          (objectives asserted equal); sparse_only = the compact windowed SparseA4Model at \
-         sizes the dense tableau cannot represent; headline = the paper-grid 200-task \
-         atacseq instance (small cluster, S1, x1.5) through --solver lp / --solver milp \
-         under a 60s budget; threads = the 100-task compact model solved with parallel \
-         partial pricing on 1/2/4/8-worker pools, objectives bit-identical across the \
-         ladder (pricing_threads_speedup saturates at the host's physical core count — \
-         a single-core machine reports ~1.0)\"\n}\n",
+         sizes the dense tableau cannot represent (capped rows report the proven dual \
+         bound); headline = the paper-grid 200-task atacseq instance (small cluster, S1, \
+         x1.5) through --solver lp / --solver milp under a 60s budget, with root-cut and \
+         iteration statistics (the seed engine reported milp feasible here; the \
+         Devex/dual/cut engine closes it); threads = the 100-task compact model solved \
+         with parallel partial pricing on 1/2/4/8-worker pools, objectives bit-identical \
+         across the ladder, par_gate_cols = the work-derived parallel gate \
+         (pricing_threads_speedup saturates at the host's physical core count — a \
+         single-core machine reports ~1.0); warm_resolve = dual-simplex repair after a \
+         branch-style bound clamp on the 100-task model, warm_resolve_iter_ratio = warm \
+         over cold iterations (acceptance: <= 0.10)\"\n}\n",
     );
     std::fs::write("BENCH_lp.json", &json).expect("write BENCH_lp.json");
     print!("{json}");

@@ -41,7 +41,8 @@ use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
 
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
+    SolveStatus, Solver,
 };
 
 /// Which start times a node may branch over.
@@ -717,6 +718,7 @@ impl Solver for BnbSolver {
             },
             nodes: res.nodes,
             lower_bound,
+            stats: SolveStats::default(),
         })
     }
 }

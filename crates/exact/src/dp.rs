@@ -27,7 +27,8 @@ use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
 
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
+    SolveStatus, Solver,
 };
 
 /// Result of an exact uniprocessor optimisation.
@@ -370,6 +371,7 @@ impl Solver for DpSolver {
                 schedule: res.schedule,
                 status: SolveStatus::Optimal,
                 nodes: cells,
+                stats: SolveStats::default(),
             },
             None => {
                 // The table was abandoned mid-build; there is no DP
@@ -381,6 +383,7 @@ impl Solver for DpSolver {
                     status: SolveStatus::TimedOut,
                     nodes: 0,
                     lower_bound: None,
+                    stats: SolveStats::default(),
                 }
             }
         })

@@ -25,7 +25,8 @@ use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
 
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
+    SolveStatus, Solver,
 };
 
 /// One maximal block of back-to-back tasks: positions `[first, last]`
@@ -221,6 +222,7 @@ impl Solver for EscheduleSolver {
             status: SolveStatus::Feasible,
             nodes: 0,
             lower_bound: None,
+            stats: SolveStats::default(),
         })
     }
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod bnb;
+pub mod cuts;
 pub mod dp;
 pub mod eschedule;
 pub mod ilp;
@@ -49,11 +50,12 @@ pub mod solver;
 pub mod sparse_model;
 
 pub use bnb::{solve_exact, solve_exact_on, BnbConfig, BnbResult, BnbSolver, CandidateMode};
+pub use cuts::{root_cut_loop, CutStats};
 pub use dp::{dp_polynomial, dp_pseudo_polynomial, DpResult, DpSolver};
 pub use eschedule::{is_e_schedule, to_e_schedule, to_e_schedule_on, EscheduleSolver};
 pub use ilp::{check_schedule_against_ilp, IlpModel, IlpSolver};
 pub use milp::{solve_ilp_model, MilpConfig, MilpDenseSolver, MilpOutcome, MilpSolver};
 pub use reduction::three_partition_instance;
 pub use simplex::{solve_lp, LpCmp, LpDenseSolver, LpOutcome, LpProblem};
-pub use solver::{Budget, SolveError, SolveResult, SolveStatus, Solver, SolverKind};
+pub use solver::{Budget, SolveError, SolveResult, SolveStats, SolveStatus, Solver, SolverKind};
 pub use sparse_model::{sparse_from_lp_problem, LpSolver, SparseA4Model};

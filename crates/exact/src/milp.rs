@@ -28,10 +28,12 @@ use cawo_core::Instance;
 use cawo_lp::{LpStatus, SimplexOptions, SimplexSolver};
 use cawo_platform::{PowerProfile, Time};
 
+use crate::cuts::root_cut_loop;
 use crate::ilp::{check_schedule_against_ilp, Cmp, Domain, IlpModel};
 use crate::simplex::{solve_lp, LpCmp, LpOutcome, LpProblem};
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
+    SolveStatus, Solver,
 };
 use crate::sparse_model::{ceil_bound, engine_cost, SparseA4Model};
 
@@ -329,6 +331,7 @@ impl Solver for MilpDenseSolver {
                     status: SolveStatus::TimedOut,
                     nodes,
                     lower_bound: None,
+                    stats: SolveStats::default(),
                 });
             }
             MilpOutcome::Infeasible => {
@@ -361,6 +364,7 @@ impl Solver for MilpDenseSolver {
                 SolveStatus::Feasible
             },
             nodes,
+            stats: SolveStats::default(),
         })
     }
 }
@@ -409,6 +413,50 @@ enum Op {
         hi: Time,
         forbid: (Time, Time),
     },
+}
+
+/// LP-guided rounding: start every task on the column carrying its
+/// largest LP mass, then legalise forward along a topological order
+/// (predecessor finish times push starts right; the backward-pass LST
+/// windows guarantee the deadline stays reachable). One `O(cols)` pass
+/// per call, so it runs at every node. This is what closes
+/// loose-deadline instances: the aggregated relaxation's bound is often
+/// exactly achievable, but only a rounding step away from the
+/// fractional vertex the simplex parks on.
+fn round_schedule(
+    model: &SparseA4Model,
+    inst: &Instance,
+    deadline: Time,
+    x: &[f64],
+) -> Option<cawo_core::Schedule> {
+    let order = inst.dag().topological_order()?;
+    let n = model.node_count();
+    let mut starts = vec![0 as Time; n];
+    for &v in &order {
+        let (est, lst) = model.window(v);
+        let mut best_t = est;
+        let mut best_m = f64::NEG_INFINITY;
+        for t in est..=lst {
+            let m = x[model.s_col(v, t) as usize];
+            if m > best_m {
+                best_m = m;
+                best_t = t;
+            }
+        }
+        // Predecessors run first; their pushes can only move the start
+        // up to LST (s_u ≤ lst_u implies s_u + ω(u) ≤ lst_v).
+        let floor = inst
+            .dag()
+            .predecessors(v)
+            .iter()
+            .map(|&u| starts[u as usize] + inst.exec(u))
+            .max()
+            .unwrap_or(0);
+        starts[v as usize] = best_t.max(floor).clamp(est, lst);
+    }
+    let sched = cawo_core::Schedule::new(starts);
+    sched.validate(inst, deadline).ok()?;
+    Some(sched)
 }
 
 impl MilpSolver {
@@ -484,7 +532,7 @@ impl Solver for MilpSolver {
                 self.max_cols
             )));
         }
-        let model = SparseA4Model::build(inst, profile);
+        let mut model = SparseA4Model::build(inst, profile);
         let deadline = budget.deadline_from_now();
         let opts_for = |deadline: Option<Instant>| -> Option<SimplexOptions> {
             match deadline {
@@ -500,6 +548,7 @@ impl Solver for MilpSolver {
         };
         let (mut best_sched, mut best_cost) = heuristic_incumbent(inst, profile);
         let mut nodes: u64 = 1;
+        let mut stats = SolveStats::default();
 
         let mut simplex = SimplexSolver::new(&model.lp);
         // Crash the incumbent into a primal-feasible basis: the root
@@ -512,9 +561,13 @@ impl Solver for MilpSolver {
                 status: SolveStatus::TimedOut,
                 nodes,
                 lower_bound: None,
+                stats,
             });
         };
         let root = simplex.solve(&opts);
+        stats.lp_iterations += root.iterations;
+        stats.dual_iterations += root.stats.dual_iters;
+        stats.pricing = root.stats.pricing;
         match root.status {
             LpStatus::Infeasible => {
                 return Err(SolveError::Infeasible(
@@ -532,11 +585,23 @@ impl Solver for MilpSolver {
                     cost: best_cost,
                     status: SolveStatus::TimedOut,
                     nodes,
-                    lower_bound: None,
-                })
+                    lower_bound: root.dual_bound.map(ceil_bound),
+                    stats,
+                });
             }
             LpStatus::Optimal => {}
         }
+        // Root cut pass: disaggregated precedence + cover cuts lift the
+        // often-zero aggregated bound before any branching happens. The
+        // rows stay in the model for the whole search (valid for every
+        // integer point), so node relaxations prune against the
+        // strengthened polytope too.
+        let (root, cut_stats) =
+            root_cut_loop(&mut model, inst, profile, &mut simplex, root, deadline);
+        stats.cut_rounds = cut_stats.rounds;
+        stats.cuts = cut_stats.cuts;
+        stats.lp_iterations += cut_stats.resolve_iters;
+        stats.dual_iterations += cut_stats.resolve_dual_iters;
         let root_bound = ceil_bound(root.objective);
 
         // DFS over window splits: branching only tightens column
@@ -562,78 +627,98 @@ impl Solver for MilpSolver {
                     }
                 };
                 if !prune {
-                    match self.select_branch(&model, &windows, &sol.x) {
-                        None => {
-                            // Integral (within tolerance): harvest the
-                            // rounded schedule.
-                            if let Some(sched) = model.extract_schedule(&sol.x) {
-                                debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
-                                let cost = engine_cost(inst, profile, &sched);
-                                if cost < best_cost {
-                                    best_cost = cost;
-                                    best_sched = sched;
-                                }
-                                // Rounding sub-tolerance dust must not
-                                // have moved the objective: if the true
-                                // cost exceeds the node's LP bound the
-                                // subtree is not actually settled, so
-                                // the optimality claim is dropped (the
-                                // incumbent itself stays valid).
-                                if sol.status == LpStatus::Optimal
-                                    && cost > ceil_bound(sol.objective)
-                                {
+                    // Round the node's fractional solution into an
+                    // incumbent candidate before branching: an LP-mass
+                    // rounding that hits the node bound collapses the
+                    // subtree (and often the whole search) instantly.
+                    if let Some(sched) = round_schedule(&model, inst, profile.deadline(), &sol.x) {
+                        let cost = engine_cost(inst, profile, &sched);
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best_sched = sched;
+                        }
+                    }
+                    // A rounded incumbent that meets this node's own
+                    // bound settles the subtree without branching.
+                    let settled =
+                        sol.status == LpStatus::Optimal && ceil_bound(sol.objective) >= best_cost;
+                    if settled {
+                        // nothing to do: the matching Leave (if any) is
+                        // already on the stack.
+                    } else {
+                        match self.select_branch(&model, &windows, &sol.x) {
+                            None => {
+                                // Integral (within tolerance): harvest the
+                                // rounded schedule.
+                                if let Some(sched) = model.extract_schedule(&sol.x) {
+                                    debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
+                                    let cost = engine_cost(inst, profile, &sched);
+                                    if cost < best_cost {
+                                        best_cost = cost;
+                                        best_sched = sched;
+                                    }
+                                    // Rounding sub-tolerance dust must not
+                                    // have moved the objective: if the true
+                                    // cost exceeds the node's LP bound the
+                                    // subtree is not actually settled, so
+                                    // the optimality claim is dropped (the
+                                    // incumbent itself stays valid).
+                                    if sol.status == LpStatus::Optimal
+                                        && cost > ceil_bound(sol.objective)
+                                    {
+                                        exhausted = false;
+                                    }
+                                } else {
+                                    // No column cleared 0.5 for some task —
+                                    // not a usable integer point; the node
+                                    // is abandoned without a claim.
                                     exhausted = false;
                                 }
-                            } else {
-                                // No column cleared 0.5 for some task —
-                                // not a usable integer point; the node
-                                // is abandoned without a claim.
-                                exhausted = false;
                             }
-                        }
-                        Some((v, split, mass_left)) => {
-                            let (lo, hi) = windows[v as usize];
-                            // Left child keeps [lo, split], right keeps
-                            // [split+1, hi]; explore the heavier side
-                            // first (stack order is reversed).
-                            let left = (
-                                Op::Enter {
-                                    v,
-                                    lo,
-                                    hi: split,
-                                    forbid: (split + 1, hi),
-                                },
-                                Op::Leave {
-                                    v,
-                                    lo,
-                                    hi,
-                                    forbid: (split + 1, hi),
-                                },
-                            );
-                            let right = (
-                                Op::Enter {
-                                    v,
-                                    lo: split + 1,
-                                    hi,
-                                    forbid: (lo, split),
-                                },
-                                Op::Leave {
-                                    v,
-                                    lo,
-                                    hi,
-                                    forbid: (lo, split),
-                                },
-                            );
-                            if mass_left >= 0.5 {
-                                stack.push(right.1);
-                                stack.push(right.0);
-                                stack.push(left.1);
-                                stack.push(left.0);
-                            } else {
-                                stack.push(left.1);
-                                stack.push(left.0);
-                                stack.push(right.1);
-                                stack.push(right.0);
+                            Some((v, split, mass_left)) => {
+                                let (lo, hi) = windows[v as usize];
+                                // Left child keeps [lo, split], right keeps
+                                // [split+1, hi]; explore the heavier side
+                                // first (stack order is reversed).
+                                let left = (
+                                    Op::Enter {
+                                        v,
+                                        lo,
+                                        hi: split,
+                                        forbid: (split + 1, hi),
+                                    },
+                                    Op::Leave {
+                                        v,
+                                        lo,
+                                        hi,
+                                        forbid: (split + 1, hi),
+                                    },
+                                );
+                                let right = (
+                                    Op::Enter {
+                                        v,
+                                        lo: split + 1,
+                                        hi,
+                                        forbid: (lo, split),
+                                    },
+                                    Op::Leave {
+                                        v,
+                                        lo,
+                                        hi,
+                                        forbid: (lo, split),
+                                    },
+                                );
+                                if mass_left >= 0.5 {
+                                    stack.push(right.1);
+                                    stack.push(right.0);
+                                    stack.push(left.1);
+                                    stack.push(left.0);
+                                } else {
+                                    stack.push(left.1);
+                                    stack.push(left.0);
+                                    stack.push(right.1);
+                                    stack.push(right.0);
+                                }
                             }
                         }
                     }
@@ -678,7 +763,10 @@ impl Solver for MilpSolver {
                                 max_iters: 50_000,
                                 ..opts
                             };
-                            pending = Some(simplex.solve(&opts));
+                            let sol = simplex.solve(&opts);
+                            stats.lp_iterations += sol.iterations;
+                            stats.dual_iterations += sol.stats.dual_iters;
+                            pending = Some(sol);
                         }
                     }
                 }
@@ -696,6 +784,7 @@ impl Solver for MilpSolver {
             status,
             nodes,
             lower_bound,
+            stats,
         })
     }
 }

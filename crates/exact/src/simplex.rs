@@ -346,7 +346,7 @@ impl crate::solver::Solver for LpDenseSolver {
         profile: &cawo_platform::PowerProfile,
         _budget: crate::solver::Budget,
     ) -> Result<crate::solver::SolveResult, crate::solver::SolveError> {
-        use crate::solver::{SolveError, SolveResult, SolveStatus};
+        use crate::solver::{SolveError, SolveResult, SolveStats, SolveStatus};
         crate::solver::require_feasible(inst, profile)?;
         let n = inst.node_count();
         let t = profile.deadline() as usize;
@@ -383,6 +383,7 @@ impl crate::solver::Solver for LpDenseSolver {
             },
             nodes: 0,
             lower_bound: Some(lower_bound),
+            stats: SolveStats::default(),
         })
     }
 }

@@ -130,6 +130,25 @@ impl Budget {
     }
 }
 
+/// Method-level work counters accumulated over one [`Solver::solve`]
+/// call — the "why was it fast/slow" companion to the verdict. All
+/// fields are zero/empty for methods where they are meaningless
+/// (combinatorial solvers report no LP iterations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total simplex iterations across every LP solve (all phases).
+    pub lp_iterations: u64,
+    /// Dual-simplex repair pivots within `lp_iterations` (warm
+    /// child-node re-solves).
+    pub dual_iterations: u64,
+    /// Root cutting-plane rounds executed.
+    pub cut_rounds: u32,
+    /// Cutting planes appended to the model at the root.
+    pub cuts: u32,
+    /// Phase-2 pricing rule of the LP engine (`""` for non-LP methods).
+    pub pricing: &'static str,
+}
+
 /// Outcome of a successful [`Solver::solve`] call.
 #[derive(Debug, Clone)]
 pub struct SolveResult {
@@ -145,6 +164,8 @@ pub struct SolveResult {
     /// A proven lower bound on the optimal cost, when the method
     /// produces one (LP relaxation, exhausted B&B).
     pub lower_bound: Option<Cost>,
+    /// Work counters explaining how the verdict was reached.
+    pub stats: SolveStats,
 }
 
 /// Why a solver declined an instance.

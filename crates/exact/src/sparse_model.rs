@@ -37,7 +37,8 @@ use cawo_lp::{presolve, LpStatus, PresolveInfeasible, RowCmp, SimplexOptions, Sp
 use cawo_platform::{PowerProfile, Time};
 
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStatus, Solver,
+    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
+    SolveStatus, Solver,
 };
 
 /// The compact sparse A.4 model plus its column layout.
@@ -289,6 +290,12 @@ impl SparseA4Model {
         self.num_s_cols
     }
 
+    /// The materialised power rows in row order: `(time unit, bu
+    /// column)` — the separation substrate for the root cover cuts.
+    pub fn power_rows(&self) -> &[(Time, u32)] {
+        &self.power_rows
+    }
+
     /// Reads the start times out of a (near-)integral solution; `None`
     /// when some task has no selected start.
     pub fn extract_schedule(&self, x: &[f64]) -> Option<Schedule> {
@@ -450,6 +457,12 @@ impl Solver for LpSolver {
             simplex.set_basis(&basis);
         }
         let sol = simplex.solve(&opts);
+        let stats = SolveStats {
+            lp_iterations: sol.iterations,
+            dual_iterations: sol.stats.dual_iters,
+            pricing: sol.stats.pricing,
+            ..SolveStats::default()
+        };
         match sol.status {
             LpStatus::Optimal => {
                 debug_assert!(
@@ -467,14 +480,21 @@ impl Solver for LpSolver {
                     },
                     nodes: sol.iterations,
                     lower_bound: Some(lower_bound),
+                    stats,
                 })
             }
+            // A budget-capped run still carries the Lagrangian dual
+            // bound of its last basis when one is finite — an honest
+            // "best proven so far" instead of a stale primal objective.
             LpStatus::IterLimit | LpStatus::TimeLimit => Ok(SolveResult {
                 schedule,
                 cost,
                 status: SolveStatus::TimedOut,
                 nodes: sol.iterations,
-                lower_bound: None,
+                lower_bound: sol
+                    .dual_bound
+                    .map(|b| ceil_bound(b + reduced.objective_offset())),
+                stats,
             }),
             LpStatus::Infeasible => Err(SolveError::Infeasible(
                 "sparse relaxation infeasible — model/instance mismatch".into(),

@@ -28,6 +28,53 @@ impl CscMatrix {
         }
     }
 
+    /// Builds a matrix from raw column-major arrays in one pass —
+    /// `col_ptr[j]..col_ptr[j + 1]` spans column `j`, each span sorted
+    /// ascending by row. Adjacent duplicate rows are summed and
+    /// zero-magnitude entries dropped in place, so million-column
+    /// models skip the per-column scratch allocations [`Self::push_col`]
+    /// would pay.
+    pub fn from_col_major(
+        nrows: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(!col_ptr.is_empty());
+        debug_assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
+        debug_assert_eq!(row_idx.len(), values.len());
+        let ncols = col_ptr.len() - 1;
+        let mut out = CscMatrix {
+            nrows,
+            col_ptr: vec![0; ncols + 1],
+            row_idx,
+            values,
+        };
+        let mut w = 0usize;
+        for j in 0..ncols {
+            let (start, end) = (col_ptr[j], col_ptr[j + 1]);
+            let col_start = w;
+            for i in start..end {
+                debug_assert!((out.row_idx[i] as usize) < nrows);
+                debug_assert!(i == start || out.row_idx[i - 1] <= out.row_idx[i]);
+                if w > col_start && out.row_idx[w - 1] == out.row_idx[i] {
+                    out.values[w - 1] += out.values[i];
+                    if out.values[w - 1] == 0.0 {
+                        w -= 1; // cancelled exactly: drop the entry
+                    }
+                } else if out.values[i] != 0.0 {
+                    out.row_idx[w] = out.row_idx[i];
+                    out.values[w] = out.values[i];
+                    w += 1;
+                }
+            }
+            out.col_ptr[j + 1] = w;
+        }
+        out.row_idx.truncate(w);
+        out.values.truncate(w);
+        out
+    }
+
     /// Appends one column given `(row, value)` entries. Zero-magnitude
     /// entries are dropped; duplicate rows are summed.
     pub fn push_col(&mut self, entries: &[(u32, f64)]) {

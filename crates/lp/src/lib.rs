@@ -37,4 +37,6 @@ pub mod simplex;
 pub use csc::CscMatrix;
 pub use model::{Row, RowCmp, SparseLp};
 pub use presolve::{presolve, PresolveInfeasible, Presolved};
-pub use simplex::{solve, Basis, LpSolution, LpStatus, SimplexOptions, SimplexSolver, VStat};
+pub use simplex::{
+    solve, Basis, LpSolution, LpStats, LpStatus, Pricing, SimplexOptions, SimplexSolver, VStat,
+};

@@ -42,6 +42,84 @@ pub struct LuFactors {
     prow: Vec<u32>,
     /// Step → logical basis position the step's column came from.
     cperm: Vec<u32>,
+    /// Original row → step it was pivoted at (inverse of `prow`).
+    /// Drives the hypersparse FTRAN: an input nonzero in row `r` can
+    /// only start influencing the solve at step `row_step[r]`.
+    row_step: Vec<u32>,
+}
+
+/// Unrolled scatter `b[r] -= v * alpha` over a sparse column. The rows
+/// of one column are distinct, so the four lanes never alias and the
+/// result is bit-identical to the sequential loop (each `b[r]` receives
+/// exactly one update). Gather loops (BTRAN dot products) are *not*
+/// unrolled with multiple accumulators — that would change the
+/// floating-point accumulation order.
+#[inline]
+fn axpy_scatter(entries: &[(u32, f64)], alpha: f64, b: &mut [f64]) {
+    let mut chunks = entries.chunks_exact(4);
+    for ch in chunks.by_ref() {
+        let (r0, v0) = ch[0];
+        let (r1, v1) = ch[1];
+        let (r2, v2) = ch[2];
+        let (r3, v3) = ch[3];
+        b[r0 as usize] -= v0 * alpha;
+        b[r1 as usize] -= v1 * alpha;
+        b[r2 as usize] -= v2 * alpha;
+        b[r3 as usize] -= v3 * alpha;
+    }
+    for &(r, v) in chunks.remainder() {
+        b[r as usize] -= v * alpha;
+    }
+}
+
+/// Reusable workspace for [`LuFactors::ftran_sparse`]. Holding it in
+/// the caller amortises the heap and stamp allocations across the
+/// thousands of FTRANs of one simplex run.
+#[derive(Debug, Clone, Default)]
+pub struct FtranScratch {
+    /// Ascending step frontier of the L-pass.
+    lheap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Descending step frontier of the U-pass.
+    uheap: std::collections::BinaryHeap<u32>,
+    /// Per-step visited stamp (shared by both passes via `stamp`).
+    lseen: Vec<u32>,
+    useen: Vec<u32>,
+    /// Per-row touched stamp (rows of `b` written and needing zeroing).
+    rseen: Vec<u32>,
+    stamp: u32,
+    /// Steps reached by the L-pass, ascending (the U-pass seeds).
+    lsteps: Vec<u32>,
+    /// Steps solved by the U-pass (positions of `z` to scatter/zero).
+    usteps: Vec<u32>,
+    /// Rows of `b` written by either pass.
+    rows: Vec<u32>,
+    /// Dense solution accumulator in step coordinates, kept zeroed
+    /// outside `usteps` between calls.
+    z: Vec<f64>,
+}
+
+impl FtranScratch {
+    fn prepare(&mut self, m: usize) {
+        if self.lseen.len() != m {
+            self.lseen = vec![0; m];
+            self.useen = vec![0; m];
+            self.rseen = vec![0; m];
+            self.z = vec![0.0; m];
+            self.stamp = 0;
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.lseen.iter_mut().for_each(|s| *s = 0);
+            self.useen.iter_mut().for_each(|s| *s = 0);
+            self.rseen.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        self.lheap.clear();
+        self.uheap.clear();
+        self.lsteps.clear();
+        self.usteps.clear();
+        self.rows.clear();
+    }
 }
 
 /// Magnitude threshold for pivot eligibility relative to the column max.
@@ -70,6 +148,7 @@ impl LuFactors {
             udiag: Vec::with_capacity(m),
             prow: Vec::with_capacity(m),
             cperm: Vec::with_capacity(m),
+            row_step: Vec::new(),
         };
         // Original row → step (u32::MAX = not yet pivoted).
         let mut row_step = vec![u32::MAX; m];
@@ -162,6 +241,7 @@ impl LuFactors {
             }
             touched.clear();
         }
+        lu.row_step = row_step;
         Ok(lu)
     }
 
@@ -185,9 +265,7 @@ impl LuFactors {
         for k in 0..self.m {
             let alpha = b[self.prow[k] as usize];
             if alpha != 0.0 {
-                for &(r, lv) in &self.lcols[k] {
-                    b[r as usize] -= lv * alpha;
-                }
+                axpy_scatter(&self.lcols[k], alpha, b);
             }
         }
         // Backward: column-oriented upper solve over steps.
@@ -204,6 +282,98 @@ impl LuFactors {
         // Un-permute into logical basis positions.
         for k in 0..self.m {
             b[self.cperm[k] as usize] = z[k];
+        }
+    }
+
+    /// Hypersparse FTRAN: solves `B x = b` like [`LuFactors::ftran`]
+    /// but visits only the elimination steps *reachable* from the
+    /// nonzero `pattern` of `b` (the rows where `b` may be nonzero —
+    /// `b` must be exactly zero everywhere else). Child-node re-solves
+    /// and entering-column transforms have a handful of nonzeros, so
+    /// the sparse traversal skips almost the whole step range.
+    ///
+    /// Values are **numerically identical** to the dense kernel (same
+    /// steps applied, in the same ascending/descending order, with the
+    /// same arithmetic): a step outside the reachable set holds an
+    /// exact zero, which the dense loops skip too. (Untouched entries
+    /// may differ in zero sign — `+0.0` where the dense divide would
+    /// produce `-0.0` — which compares equal and is inert downstream.)
+    pub fn ftran_sparse(&self, b: &mut [f64], pattern: &[u32], scratch: &mut FtranScratch) {
+        use std::cmp::Reverse;
+        debug_assert_eq!(b.len(), self.m);
+        scratch.prepare(self.m);
+        let stamp = scratch.stamp;
+        // Seed the L frontier with the step of every pattern row.
+        for &r in pattern {
+            if scratch.rseen[r as usize] != stamp {
+                scratch.rseen[r as usize] = stamp;
+                scratch.rows.push(r);
+            }
+            let k = self.row_step[r as usize];
+            if scratch.lseen[k as usize] != stamp {
+                scratch.lseen[k as usize] = stamp;
+                scratch.lheap.push(Reverse(k));
+            }
+        }
+        // Forward pass, ascending steps. Fill-in from step `k` lands in
+        // rows of `lcols[k]`, all pivoted at *later* steps (they were
+        // unpivoted candidates when step `k` ran), so pushing them
+        // keeps the frontier ahead of the cursor.
+        while let Some(Reverse(k)) = scratch.lheap.pop() {
+            scratch.lsteps.push(k);
+            let alpha = b[self.prow[k as usize] as usize];
+            if alpha != 0.0 {
+                axpy_scatter(&self.lcols[k as usize], alpha, b);
+                for &(r, _) in &self.lcols[k as usize] {
+                    if scratch.rseen[r as usize] != stamp {
+                        scratch.rseen[r as usize] = stamp;
+                        scratch.rows.push(r);
+                    }
+                    let kk = self.row_step[r as usize];
+                    debug_assert!(kk > k);
+                    if scratch.lseen[kk as usize] != stamp {
+                        scratch.lseen[kk as usize] = stamp;
+                        scratch.lheap.push(Reverse(kk));
+                    }
+                }
+            }
+        }
+        // Backward pass, descending steps; `ucols[k]` references
+        // strictly earlier steps, so the max-heap frontier stays behind
+        // the cursor.
+        for &k in &scratch.lsteps {
+            if scratch.useen[k as usize] != stamp {
+                scratch.useen[k as usize] = stamp;
+                scratch.uheap.push(k);
+            }
+        }
+        while let Some(k) = scratch.uheap.pop() {
+            scratch.usteps.push(k);
+            let zk = b[self.prow[k as usize] as usize] / self.udiag[k as usize];
+            scratch.z[k as usize] = zk;
+            if zk != 0.0 {
+                for &(kk, uv) in &self.ucols[k as usize] {
+                    let rr = self.prow[kk as usize];
+                    b[rr as usize] -= uv * zk;
+                    if scratch.rseen[rr as usize] != stamp {
+                        scratch.rseen[rr as usize] = stamp;
+                        scratch.rows.push(rr);
+                    }
+                    if scratch.useen[kk as usize] != stamp {
+                        scratch.useen[kk as usize] = stamp;
+                        scratch.uheap.push(kk);
+                    }
+                }
+            }
+        }
+        // Clear the residual row values, then scatter the solution into
+        // logical basis positions (zeroing `z` again for the next call).
+        for &r in &scratch.rows {
+            b[r as usize] = 0.0;
+        }
+        for &k in &scratch.usteps {
+            b[self.cperm[k as usize] as usize] = scratch.z[k as usize];
+            scratch.z[k as usize] = 0.0;
         }
     }
 
@@ -293,15 +463,19 @@ impl EtaFile {
     }
 
     /// Applies the updates to an FTRAN result (chronological order).
+    /// Etas whose pivot position holds an exact zero are skipped whole
+    /// (`0 / wp = ±0` and the scatter would be a no-op) — on hypersparse
+    /// child-node FTRANs most of the file short-circuits this way.
     pub fn ftran(&self, x: &mut [f64]) {
         for eta in &self.etas {
             let p = eta.p as usize;
+            if x[p] == 0.0 {
+                continue;
+            }
             let xp = x[p] / eta.wp;
             x[p] = xp;
             if xp != 0.0 {
-                for &(i, wi) in &eta.rest {
-                    x[i as usize] -= wi * xp;
-                }
+                axpy_scatter(&eta.rest, xp, x);
             }
         }
     }
@@ -364,6 +538,41 @@ mod tests {
         lu.btran(&mut c);
         for (got, want) in c.iter().zip(&y) {
             assert!((got - want).abs() < 1e-12, "{c:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_ftran_matches_dense() {
+        // A 5×5 basis with genuine fill, solved for every single-entry
+        // RHS and a couple of multi-entry ones; the hypersparse kernel
+        // must agree with the dense kernel entry-for-entry.
+        let a: Vec<&[f64]> = vec![
+            &[2.0, 1.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 1.0, 0.0, 0.0],
+            &[4.0, 0.0, 1.0, 0.5, 0.0],
+            &[0.0, 2.0, 0.0, 1.0, 1.0],
+            &[1.0, 0.0, 0.0, 0.0, 2.0],
+        ];
+        let cols = dense_cols(&a);
+        let lu = LuFactors::factor(5, &cols, &[2, 2, 3, 2, 2]).unwrap();
+        let mut scratch = FtranScratch::default();
+        let mut cases: Vec<Vec<(usize, f64)>> = (0..5).map(|r| vec![(r, 1.0 + r as f64)]).collect();
+        cases.push(vec![(0, 1.5), (3, -2.0)]);
+        cases.push(vec![(1, -1.0), (2, 4.0), (4, 0.25)]);
+        for case in cases {
+            let mut dense = vec![0.0f64; 5];
+            let mut sparse = vec![0.0f64; 5];
+            let mut pattern = Vec::new();
+            for &(r, v) in &case {
+                dense[r] = v;
+                sparse[r] = v;
+                pattern.push(r as u32);
+            }
+            lu.ftran(&mut dense);
+            lu.ftran_sparse(&mut sparse, &pattern, &mut scratch);
+            for (d, s) in dense.iter().zip(&sparse) {
+                assert!(d == s, "dense {dense:?} vs sparse {sparse:?}");
+            }
         }
     }
 

@@ -14,25 +14,39 @@
 //!   strictly reduces infeasibility or is degenerate. No artificial
 //!   columns, so warm starts from any basis repair themselves.
 //! * **Phase 2** is textbook bounded-variable simplex with bound flips.
-//! * **Pricing** is Dantzig within cyclic *partial pricing* blocks: a
-//!   few thousand columns are scanned per iteration and the cursor
-//!   wraps, so iteration cost stays bounded on the 10⁵-column
-//!   time-indexed models this crate exists for. Large blocks are
-//!   scanned in parallel on the current `cawo_par` pool with a
-//!   deterministic reduction, so results are bit-identical at any
-//!   thread count. Degeneracy stalls flip the solver into Bland's rule
-//!   (strictly sequential) until progress resumes.
+//! * **Pricing** defaults to [`Pricing::Devex`]: reference-framework
+//!   Devex weights over an incrementally maintained reduced-cost
+//!   vector, scanned in cyclic partial blocks — the weights steer the
+//!   solver through the massive degeneracy of the windowed scheduling
+//!   models in a fraction of the Dantzig iteration count.
+//!   [`Pricing::Dantzig`] (sparse dot products per scanned column)
+//!   remains available as a baseline. Expensive sweeps are split
+//!   across the current `cawo_par` pool behind a deterministic
+//!   work-based gate with order-preserving reductions, so results are
+//!   bit-identical at any thread count. Degeneracy stalls flip the
+//!   solver into Bland's rule (strictly sequential) until progress
+//!   resumes.
+//! * **Dual simplex**: when a warm-start basis is primal-infeasible
+//!   but (near-)dual-feasible — exactly the shape of a
+//!   branch-and-bound child after a bound change — the solver first
+//!   runs a bounded-variable *dual* repair loop
+//!   ([`SimplexOptions::dual_warm`]) that re-solves in a handful of
+//!   pivots. The dual loop is purely an accelerator: every terminal
+//!   verdict is still issued by the primal phases from a fresh
+//!   factorisation, so a numerically confused dual pass can never
+//!   fabricate an answer. A bound-flipping (long-step) dual ratio
+//!   test is available behind [`SimplexOptions::dual_long_step`].
 //! * **Warm starts**: [`SimplexSolver`] keeps its basis between solves;
 //!   bound changes ([`SimplexSolver::set_col_bounds`]) re-enter through
-//!   phase 1 which typically needs a handful of pivots — this is what
-//!   makes branch-and-bound nodes cheap.
+//!   the dual loop or phase 1, which typically needs a handful of
+//!   pivots — this is what makes branch-and-bound nodes cheap.
 
 use std::time::Instant;
 
 use rayon::prelude::*;
 
 use crate::csc::CscMatrix;
-use crate::lu::{EtaFile, LuFactors};
+use crate::lu::{EtaFile, FtranScratch, LuFactors};
 use crate::model::{RowCmp, SparseLp};
 
 /// Status of one column (structural or slack) in the simplex state.
@@ -72,6 +86,73 @@ pub enum LpStatus {
     TimeLimit,
 }
 
+/// Phase-2 primal pricing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Devex reference-framework pricing over a maintained
+    /// reduced-cost vector (the default): per-iteration scans are a
+    /// score comparison instead of a sparse dot product, and the
+    /// weights approximate steepest-edge norms, slashing the pivot
+    /// count on degenerate time-indexed models.
+    #[default]
+    Devex,
+    /// Dantzig's rule inside cyclic partial-pricing blocks — the
+    /// pre-Devex behaviour, kept as a comparison baseline.
+    Dantzig,
+}
+
+impl Pricing {
+    /// Lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pricing::Devex => "devex",
+            Pricing::Dantzig => "dantzig",
+        }
+    }
+}
+
+/// Counters describing how a solve spent its effort — wired through
+/// `SolveResult` so benches can report *why* a solve got faster.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LpStats {
+    /// Primal phase-1 (feasibility) pivots.
+    pub phase1_iters: u64,
+    /// Primal phase-2 (optimality) pivots.
+    pub phase2_iters: u64,
+    /// Dual-simplex pivots (warm-start repair loop).
+    pub dual_iters: u64,
+    /// Nonbasic bound flips (primal long steps + dual BFRT flips).
+    pub bound_flips: u64,
+    /// Basis refactorisations.
+    pub refactors: u64,
+    /// Devex reference-framework resets (weights grew past the cap).
+    pub devex_resets: u64,
+    /// Phase-2 pricing rule in effect ("devex" / "dantzig").
+    pub pricing: &'static str,
+    /// Column count from which Dantzig pricing blocks are split across
+    /// the pool (the deterministic per-column-work gate).
+    pub par_gate_cols: usize,
+}
+
+/// Maintained Devex pricing state: exact-or-updated reduced costs and
+/// reference-framework weights. Built lazily on entering phase 2 and
+/// dropped on any event that invalidates the maintained quantities
+/// (phase switch, Bland fallback, basis refresh).
+#[derive(Debug, Clone)]
+struct Devex {
+    /// Maintained reduced costs of all columns (basic slots are stale
+    /// and never read).
+    d: Vec<f64>,
+    /// Reference-framework weights γ_j ≥ 1 approximating the steepest
+    /// edge norms relative to the framework.
+    gamma: Vec<f64>,
+    /// Largest weight seen since the last framework reset.
+    max_gamma: f64,
+    /// True while `d` is freshly rebuilt (no incremental updates yet);
+    /// only then may an empty pricing scan certify optimality.
+    exact: bool,
+}
+
 /// Outcome of one solve.
 #[derive(Debug, Clone)]
 pub struct LpSolution {
@@ -82,16 +163,23 @@ pub struct LpSolution {
     pub objective: f64,
     /// Structural variable values.
     pub x: Vec<f64>,
-    /// Simplex iterations spent (both phases).
+    /// Simplex iterations spent (all phases, dual included).
     pub iterations: u64,
     /// Final basis (warm-start token for the next solve).
     pub basis: Basis,
+    /// Iteration/pivot-rule counters.
+    pub stats: LpStats,
+    /// A valid lower bound on the optimum: the objective itself when
+    /// [`LpStatus::Optimal`], otherwise the Lagrangian bound `L(y)` of
+    /// the final dual prices when it is finite — budget-capped runs
+    /// report this instead of their (meaningless) primal objective.
+    pub dual_bound: Option<f64>,
 }
 
 /// Knobs of the simplex driver.
 #[derive(Debug, Clone, Copy)]
 pub struct SimplexOptions {
-    /// Hard iteration cap across both phases.
+    /// Hard iteration cap across all phases.
     pub max_iters: u64,
     /// Optional wall-clock cap (polled every few iterations).
     pub time_limit: Option<std::time::Duration>,
@@ -101,6 +189,16 @@ pub struct SimplexOptions {
     pub dual_tol: f64,
     /// Columns scanned per partial-pricing round.
     pub pricing_block: usize,
+    /// Phase-2 pricing rule.
+    pub pricing: Pricing,
+    /// Run the dual-simplex repair loop before the primal phases when
+    /// the warm-start basis is primal-infeasible but dual-feasible
+    /// (the branch-and-bound child-node shape). Never changes the
+    /// answer — only the route to it.
+    pub dual_warm: bool,
+    /// Bound-flipping (long-step) dual ratio test: pass over boxed
+    /// breakpoints, flipping them in bulk, before the pivot.
+    pub dual_long_step: bool,
 }
 
 impl Default for SimplexOptions {
@@ -111,6 +209,9 @@ impl Default for SimplexOptions {
             feas_tol: 1e-7,
             dual_tol: 1e-7,
             pricing_block: 16384,
+            pricing: Pricing::Devex,
+            dual_warm: true,
+            dual_long_step: false,
         }
     }
 }
@@ -125,10 +226,19 @@ const STALL_LIMIT: u64 = 300;
 const PIVOT_TOL: f64 = 1e-11;
 /// Iterations for which a column stays banned after a failed pivot.
 const BAN_SPAN: u64 = 1000;
-/// Minimum pricing-block length before the scan is split across the
-/// pool — below this the per-column work (a sparse dot product) is too
-/// cheap to amortise the spawn round-trip.
-const PAR_PRICING_MIN_COLS: usize = 4096;
+/// Minimum estimated *work* (scanned columns × average column
+/// nonzeros) before a pricing sweep is split across the pool. The old
+/// gate was a raw ≥ 4096-column threshold, which parallelised scans
+/// whose per-column cost (a 2–6-entry dot product) was far too cheap
+/// to amortise the spawn round-trip — the 100-task bench was *slower*
+/// at 4 threads than at 1. Expressing the gate in nonzeros makes it
+/// deterministic (no timing feedback, so bit-identity across thread
+/// counts holds) while tracking the real per-block cost.
+const PAR_MIN_WORK: usize = 1 << 18;
+/// Devex weights above this trigger a reference-framework reset.
+const DEVEX_RESET: f64 = 1e12;
+/// Pivot-magnitude floor of the dual ratio test.
+const DUAL_PIVOT_TOL: f64 = 1e-9;
 
 /// A persistent simplex instance over one [`SparseLp`]'s matrix.
 ///
@@ -149,12 +259,22 @@ pub struct SimplexSolver {
     hi: Vec<f64>,
     /// Static per-row nonzero counts (Markowitz tie-break).
     row_counts: Vec<u32>,
+    /// Dantzig pricing goes parallel from this many scanned columns
+    /// (PAR_MIN_WORK over the model's average column nonzero count).
+    par_min_cols: usize,
     // --- mutable simplex state ---
     vstat: Vec<VStat>,
     basis: Vec<u32>,
     xb: Vec<f64>,
     lu: Option<LuFactors>,
     etas: EtaFile,
+    /// Hypersparse-FTRAN workspace, reused across iterations.
+    scratch: FtranScratch,
+    /// Best Lagrangian bound observed during the current `solve` call.
+    /// Sampled periodically because the final basis of a budget-capped
+    /// run often has a wrong-sign reduced cost on an infinite bound
+    /// (certifying nothing), while an earlier basis certified plenty.
+    best_dual_bound: Option<f64>,
 }
 
 impl SimplexSolver {
@@ -176,19 +296,36 @@ impl SimplexSolver {
                 scale[i] = f64::exp2(amax.log2().floor());
             }
         }
-        // Column-major structural matrix.
-        let mut by_col: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        // Column-major structural matrix via counting sort: two flat
+        // passes over the rows, no per-column scratch vectors. Rows are
+        // visited in ascending order, so every column span comes out
+        // row-sorted — exactly what `from_col_major` requires. At the
+        // 1000-task scale (2M columns) this is seconds cheaper than
+        // 2M `push_col` calls.
+        let mut col_ptr = vec![0usize; n + 1];
+        for row in &lp.rows {
+            for &(j, _) in &row.terms {
+                col_ptr[j as usize + 1] += 1;
+            }
+        }
+        for j in 0..n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let nnz = col_ptr[n];
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
         let mut rhs = vec![0.0f64; m];
         for (i, row) in lp.rows.iter().enumerate() {
             rhs[i] = row.rhs / scale[i];
             for &(j, a) in &row.terms {
-                by_col[j as usize].push((i as u32, a / scale[i]));
+                let p = cursor[j as usize];
+                row_idx[p] = i as u32;
+                values[p] = a / scale[i];
+                cursor[j as usize] = p + 1;
             }
         }
-        let mut csc = CscMatrix::new(m);
-        for col in &by_col {
-            csc.push_col(col);
-        }
+        let csc = CscMatrix::from_col_major(m, col_ptr, row_idx, values);
         let mut obj = lp.obj.clone();
         obj.resize(n + m, 0.0);
         let mut lo = lp.lo.clone();
@@ -208,6 +345,7 @@ impl SimplexSolver {
         for c in &mut row_counts {
             *c += 1; // the slack
         }
+        let avg_col_nnz = ((csc.nnz() + m) / (n + m).max(1)).max(1);
         let mut solver = SimplexSolver {
             n,
             m,
@@ -217,14 +355,24 @@ impl SimplexSolver {
             lo,
             hi,
             row_counts,
+            par_min_cols: PAR_MIN_WORK / avg_col_nnz,
             vstat: Vec::new(),
             basis: Vec::new(),
             xb: Vec::new(),
             lu: None,
             etas: EtaFile::default(),
+            scratch: FtranScratch::default(),
+            best_dual_bound: None,
         };
         solver.reset_basis();
         solver
+    }
+
+    /// Column count from which Dantzig pricing blocks are scanned in
+    /// parallel — the deterministic work gate, derived from the
+    /// model's average column density (recorded by the benches).
+    pub fn par_gate_cols(&self) -> usize {
+        self.par_min_cols
     }
 
     /// Number of structural columns.
@@ -321,7 +469,15 @@ impl SimplexSolver {
     /// Runs the simplex from the current state.
     pub fn solve(&mut self, opts: &SimplexOptions) -> LpSolution {
         let deadline = opts.time_limit.map(|d| Instant::now() + d);
+        // Bounds (or rows) may have changed since the last call, which
+        // would invalidate any bound tracked then.
+        self.best_dual_bound = None;
         let mut iterations: u64 = 0;
+        let mut stats = LpStats {
+            pricing: opts.pricing.name(),
+            par_gate_cols: self.par_min_cols,
+            ..LpStats::default()
+        };
         let mut degenerate_run: u64 = 0;
         let mut bland = false;
         let mut price_cursor = 0usize;
@@ -344,25 +500,53 @@ impl SimplexSolver {
         // fabricate phantom (in)feasibility.
         let mut fresh = true;
 
-        let finish = |this: &Self, status: LpStatus, iterations: u64| -> LpSolution {
-            let x = this.structural_solution();
-            LpSolution {
-                status,
-                objective: this.obj[..this.n].iter().zip(&x).map(|(c, v)| c * v).sum(),
-                x,
-                iterations,
-                basis: this.basis(),
+        // Reusable entering-column buffers.
+        let mut w = vec![0.0f64; self.m];
+        let mut pattern: Vec<u32> = Vec::new();
+
+        // Dual-simplex repair first when the warm basis qualifies. It
+        // never concludes anything — whatever state it leaves behind,
+        // the primal phases below re-verify before any verdict.
+        if opts.dual_warm {
+            let before = (iterations, stats.bound_flips, stats.refactors);
+            self.dual_loop(
+                opts,
+                deadline,
+                &mut iterations,
+                &mut stats,
+                &mut w,
+                &mut pattern,
+            );
+            if (iterations, stats.bound_flips, stats.refactors) != before {
+                fresh = false;
             }
-        };
+        }
+
+        // Devex phase-2 state: maintained reduced costs + reference
+        // weights. Built lazily at the first phase-2 pricing call and
+        // dropped whenever the incremental invariants cannot be
+        // maintained (phase flip, Bland mode, refresh).
+        let mut devex: Option<Devex> = None;
 
         loop {
             if iterations >= opts.max_iters {
-                return finish(self, LpStatus::IterLimit, iterations);
+                return self.finish(LpStatus::IterLimit, iterations, stats);
             }
             if iterations.is_multiple_of(64) {
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
-                        return finish(self, LpStatus::TimeLimit, iterations);
+                        return self.finish(LpStatus::TimeLimit, iterations, stats);
+                    }
+                }
+                // Sample the Lagrangian bound so a budget-capped run
+                // reports the best certificate seen, not whatever the
+                // final basis happens to certify. Valid in any phase:
+                // `self.obj` always holds the real costs (phase 1
+                // composites are computed inline in pricing).
+                if iterations.is_multiple_of(512) && iterations > 0 {
+                    if let Some(b) = self.lagrangian_bound() {
+                        self.best_dual_bound =
+                            Some(self.best_dual_bound.map_or(b, |prev| prev.max(b)));
                     }
                 }
             }
@@ -388,26 +572,47 @@ impl SimplexSolver {
                 }
             }
 
-            // Dual prices (keep the basic costs: the entering column's
-            // reduced cost is re-derived from them as an accuracy
-            // cross-check below).
-            let mut y = cb.clone();
-            self.etas.btran(&mut y);
-            if let Some(lu) = &self.lu {
-                lu.btran(&mut y);
+            // Pricing. Phase 2 under Devex scores maintained reduced
+            // costs (no BTRAN, no dot products); phase 1, Dantzig mode
+            // and Bland recovery price through fresh dual prices.
+            let use_devex = !phase1 && !bland && opts.pricing == Pricing::Devex;
+            if !use_devex {
+                devex = None;
             }
-
-            // Pricing: cyclic partial blocks, Dantzig inside a block;
-            // Bland's rule (first eligible index) when stalled.
-            let entering = self.price(
-                &y,
-                phase1,
-                opts,
-                &mut price_cursor,
-                bland,
-                &banned,
-                iterations,
-            );
+            let entering = if use_devex {
+                if devex.is_none() {
+                    devex = Some(self.devex_build());
+                }
+                let dv = devex.as_mut().expect("just built");
+                if dv.max_gamma > DEVEX_RESET {
+                    // Reference-framework reset: the current nonbasic
+                    // set becomes the new framework, all weights 1.
+                    dv.gamma.iter_mut().for_each(|g| *g = 1.0);
+                    dv.max_gamma = 1.0;
+                    stats.devex_resets += 1;
+                }
+                self.devex_price(dv, opts, &mut price_cursor, &banned, iterations)
+            } else {
+                // Dual prices (keep the basic costs: the entering
+                // column's reduced cost is re-derived from them as an
+                // accuracy cross-check below).
+                let mut y = cb.clone();
+                self.etas.btran(&mut y);
+                if let Some(lu) = &self.lu {
+                    lu.btran(&mut y);
+                }
+                // Cyclic partial blocks, Dantzig inside a block;
+                // Bland's rule (first eligible index) when stalled.
+                self.price(
+                    &y,
+                    phase1,
+                    opts,
+                    &mut price_cursor,
+                    bland,
+                    &banned,
+                    iterations,
+                )
+            };
             let Some((q, dq)) = entering else {
                 if banned.iter().any(|&b| b > iterations) {
                     // Never conclude anything while columns are banned:
@@ -417,7 +622,7 @@ impl SimplexSolver {
                     // a fake optimum.
                     ban_clears += 1;
                     if ban_clears > 2 {
-                        return finish(self, LpStatus::IterLimit, iterations);
+                        return self.finish(LpStatus::IterLimit, iterations, stats);
                     }
                     banned.iter_mut().for_each(|b| *b = 0);
                     continue;
@@ -425,41 +630,46 @@ impl SimplexSolver {
                 if !fresh {
                     // Re-derive x_B exactly before concluding anything.
                     self.refresh();
+                    stats.refactors += 1;
                     fresh = true;
+                    devex = None;
+                    continue;
+                }
+                if devex.as_ref().is_some_and(|dv| !dv.exact) {
+                    // Optimality may only be certified from freshly
+                    // recomputed reduced costs, never incrementally
+                    // maintained (drifted) ones.
+                    devex = None;
                     continue;
                 }
                 if phase1 {
-                    return finish(self, LpStatus::Infeasible, iterations);
+                    return self.finish(LpStatus::Infeasible, iterations, stats);
                 }
-                return finish(self, LpStatus::Optimal, iterations);
+                return self.finish(LpStatus::Optimal, iterations, stats);
             };
             let sigma = if dq < 0.0 { 1.0 } else { -1.0 };
 
-            // Transformed entering column.
-            let mut w = vec![0.0f64; self.m];
-            if q < self.n {
-                self.csc.scatter_col(q, 1.0, &mut w);
-            } else {
-                w[q - self.n] = 1.0;
-            }
-            if let Some(lu) = &self.lu {
-                lu.ftran(&mut w);
-            }
-            self.etas.ftran(&mut w);
+            // Transformed entering column (hypersparse FTRAN).
+            self.transformed_col(q, &mut w, &mut pattern);
 
             // Accuracy cross-check: `d_q` was priced through the BTRAN
-            // chain; `c_q − c_B·w` derives it through the FTRAN chain.
-            // The two must agree — divergence means the eta file has
-            // drifted, and pivoting on a drifted `w` is how a basis
-            // silently goes singular. Refactorise and retry instead.
+            // chain (or the maintained Devex vector); `c_q − c_B·w`
+            // derives it through the FTRAN chain. The two must agree —
+            // divergence means the eta file (or the maintained reduced
+            // costs) drifted, and pivoting on a drifted `w` is how a
+            // basis silently goes singular. Refactorise and retry.
             let cq = if phase1 { 0.0 } else { self.obj[q] };
             let dq_check = cq - cb.iter().zip(&w).map(|(c, v)| c * v).sum::<f64>();
-            if (dq - dq_check).abs() > 1e-7 * (1.0 + dq.abs()) && !self.etas.is_empty() {
+            if (dq - dq_check).abs() > 1e-7 * (1.0 + dq.abs())
+                && (!self.etas.is_empty() || devex.as_ref().is_some_and(|dv| !dv.exact))
+            {
                 // Counted as an iteration so the budget checks can trip
                 // even if the recovery itself has to repeat.
                 iterations += 1;
                 self.refresh();
+                stats.refactors += 1;
                 fresh = true;
+                devex = None;
                 continue;
             }
 
@@ -534,20 +744,27 @@ impl SimplexSolver {
             }
 
             iterations += 1;
+            if phase1 {
+                stats.phase1_iters += 1;
+            } else {
+                stats.phase2_iters += 1;
+            }
             if t_best.is_infinite() {
                 if !fresh {
                     // Never conclude from eta-drifted basic values.
                     self.refresh();
+                    stats.refactors += 1;
                     fresh = true;
+                    devex = None;
                     continue;
                 }
                 if phase1 {
                     // Numerically impossible from a fresh state (the
                     // phase-1 objective is bounded below); give up
                     // honestly.
-                    return finish(self, LpStatus::Infeasible, iterations);
+                    return self.finish(LpStatus::Infeasible, iterations, stats);
                 }
-                return finish(self, LpStatus::Unbounded, iterations);
+                return self.finish(LpStatus::Unbounded, iterations, stats);
             }
 
             if t_best > 1e-9 {
@@ -563,7 +780,8 @@ impl SimplexSolver {
             match leave {
                 None => {
                     // Bound flip: the entering variable crosses its own
-                    // range; the basis is unchanged.
+                    // range; the basis is unchanged, and so are all
+                    // reduced costs — the Devex state stays valid.
                     let step = sigma * own_range;
                     for (xb, &wp) in self.xb.iter_mut().zip(&w) {
                         if wp != 0.0 {
@@ -575,6 +793,7 @@ impl SimplexSolver {
                     } else {
                         VStat::AtLower
                     };
+                    stats.bound_flips += 1;
                     fresh = false;
                 }
                 Some((r, at)) => {
@@ -585,11 +804,25 @@ impl SimplexSolver {
                     // that blocked it (for an infeasible phase-1 basic
                     // that is the bound it violated).
                     let bj = self.basis[r] as usize;
+                    // Devex update inputs must come from the *old*
+                    // basis: ρ = B⁻ᵀe_r before any factor update. The
+                    // update itself is applied only if the pivot
+                    // commits.
+                    let devex_rho: Option<(Vec<f64>, f64)> = devex.as_ref().map(|dv| {
+                        let mut rho = vec![0.0f64; self.m];
+                        rho[r] = 1.0;
+                        self.etas.btran(&mut rho);
+                        if let Some(lu) = &self.lu {
+                            lu.btran(&mut rho);
+                        }
+                        (rho, dv.gamma[q])
+                    });
                     self.vstat[bj] = at;
                     self.basis[r] = q as u32;
                     self.vstat[q] = VStat::Basic;
                     if !self.etas.push(r, &w) || self.etas.len() >= REFACTOR_INTERVAL {
                         if self.refactor().is_ok() {
+                            stats.refactors += 1;
                             self.compute_xb();
                             fresh = true;
                         } else {
@@ -597,7 +830,8 @@ impl SimplexSolver {
                             // undo the swap, refactorise the previous
                             // basis, and ban the offending column for a
                             // while so the same pivot is not retried
-                            // immediately.
+                            // immediately. The maintained Devex state
+                            // still describes the (restored) basis.
                             self.basis[r] = bj as u32;
                             self.vstat[bj] = VStat::Basic;
                             self.vstat[q] = entering_status;
@@ -609,6 +843,7 @@ impl SimplexSolver {
                                 self.reset_basis();
                                 self.refactor().expect("slack basis is nonsingular");
                             }
+                            stats.refactors += 1;
                             self.compute_xb();
                             fresh = true;
                             continue;
@@ -622,10 +857,593 @@ impl SimplexSolver {
                         self.xb[r] = entering_start + step;
                         fresh = false;
                     }
+                    // Pivot committed: fused α/d/γ sweep keeps the
+                    // maintained reduced costs and Devex weights in
+                    // step with the new basis.
+                    if let (Some(dv), Some((rho, gamma_q))) = (devex.as_mut(), devex_rho) {
+                        let alpha_q = w[r];
+                        self.devex_update(dv, &rho, dq / alpha_q, alpha_q, gamma_q, q);
+                        dv.exact = false;
+                    }
                     ban_clears = 0;
                 }
             }
         }
+    }
+
+    /// The bounded-variable dual-simplex repair loop.
+    ///
+    /// Entered when the current basis is primal-infeasible in a few
+    /// places but dual-feasible — exactly the state a branch-and-bound
+    /// child starts in after a branching bound change. Each pivot
+    /// drives one primal violation to its bound while preserving dual
+    /// feasibility, so warm re-solves finish in a handful of pivots
+    /// instead of a composite phase-1 run.
+    ///
+    /// This loop never issues a verdict. On *any* exit — violations
+    /// repaired, numerical doubt, stall, no eligible entering column
+    /// (dual unboundedness = primal infeasibility) — it returns and
+    /// the primal phases re-verify from a fresh state; a confused dual
+    /// pass can therefore never fabricate an answer, only waste time.
+    #[allow(clippy::too_many_arguments)]
+    fn dual_loop(
+        &mut self,
+        opts: &SimplexOptions,
+        deadline: Option<Instant>,
+        iterations: &mut u64,
+        stats: &mut LpStats,
+        w: &mut Vec<f64>,
+        pattern: &mut Vec<u32>,
+    ) {
+        let total = self.n + self.m;
+        // Gate on the warm-start shape: the loop pays an O(nnz)
+        // feasibility sweep up front and an O(nnz) α sweep per pivot,
+        // which only beats phase 1 when few basics are out of bounds.
+        // Cold starts and heavily infeasible bases skip straight to
+        // the composite primal phase 1.
+        let mut violations = 0usize;
+        for (p, &bj) in self.basis.iter().enumerate() {
+            let v = self.xb[p];
+            if v < self.lo[bj as usize] - opts.feas_tol || v > self.hi[bj as usize] + opts.feas_tol
+            {
+                violations += 1;
+            }
+        }
+        if violations == 0 || violations > self.m / 8 + 8 {
+            return;
+        }
+        // Exact reduced costs of the warm basis; bail unless they are
+        // dual-feasible (within a slack of the pricing tolerance —
+        // pivots only ever see exact ratios, so the slack cannot
+        // compound). Fixed columns are skipped throughout: their value
+        // is forced, so any reduced-cost sign is KKT-compatible.
+        let mut y = vec![0.0f64; self.m];
+        for (p, &bj) in self.basis.iter().enumerate() {
+            y[p] = self.obj[bj as usize];
+        }
+        self.etas.btran(&mut y);
+        if let Some(lu) = &self.lu {
+            lu.btran(&mut y);
+        }
+        let slack_tol = 10.0 * opts.dual_tol;
+        let mut d = vec![0.0f64; total];
+        for j in 0..total {
+            if self.vstat[j] == VStat::Basic || self.lo[j] == self.hi[j] {
+                continue;
+            }
+            let aty = if j < self.n {
+                self.csc.col_dot(j, &y)
+            } else {
+                y[j - self.n]
+            };
+            let dj = self.obj[j] - aty;
+            d[j] = dj;
+            let ok = match self.vstat[j] {
+                VStat::AtLower => dj >= -slack_tol,
+                VStat::AtUpper => dj <= slack_tol,
+                VStat::Free => dj.abs() <= slack_tol,
+                VStat::Basic => unreachable!(),
+            };
+            if !ok {
+                return;
+            }
+        }
+
+        let mut alphas = vec![0.0f64; total];
+        let mut bps: Vec<(f64, u32)> = Vec::new();
+        let mut flip_cols: Vec<u32> = Vec::new();
+        let mut agg: Vec<f64> = Vec::new();
+        let mut stall: u64 = 0;
+        loop {
+            if *iterations >= opts.max_iters || stall >= STALL_LIMIT {
+                return;
+            }
+            if iterations.is_multiple_of(64) {
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        return;
+                    }
+                }
+            }
+            // Leaving row: the worst primal bound violation; σ encodes
+            // which bound (+1 above upper, −1 below lower).
+            let mut leave: Option<(usize, f64)> = None;
+            let mut worst = opts.feas_tol;
+            for (p, &bj) in self.basis.iter().enumerate() {
+                let (l, h) = (self.lo[bj as usize], self.hi[bj as usize]);
+                let v = self.xb[p];
+                if l - v > worst {
+                    worst = l - v;
+                    leave = Some((p, -1.0));
+                }
+                if v - h > worst {
+                    worst = v - h;
+                    leave = Some((p, 1.0));
+                }
+            }
+            let Some((r, sigma)) = leave else {
+                return; // primal-feasible: the repair is done
+            };
+            let bound_r = {
+                let bj = self.basis[r] as usize;
+                if sigma > 0.0 {
+                    self.hi[bj]
+                } else {
+                    self.lo[bj]
+                }
+            };
+            // ρ = B⁻ᵀe_r, then one α sweep over the nonbasics with the
+            // dual ratio test folded in: the entering column is the
+            // one whose reduced cost reaches zero first as the dual
+            // prices move (min ratio d_j/â_j over â_j = σ·α_j with the
+            // sign that keeps dual feasibility), ties towards the
+            // largest |α| for numerical stability.
+            let mut rho = vec![0.0f64; self.m];
+            rho[r] = 1.0;
+            self.etas.btran(&mut rho);
+            if let Some(lu) = &self.lu {
+                lu.btran(&mut rho);
+            }
+            let mut best: Option<(f64, usize)> = None;
+            bps.clear();
+            for j in 0..total {
+                if self.vstat[j] == VStat::Basic || self.lo[j] == self.hi[j] {
+                    continue;
+                }
+                let alpha = if j < self.n {
+                    self.csc.col_dot(j, &rho)
+                } else {
+                    rho[j - self.n]
+                };
+                alphas[j] = alpha;
+                if alpha.abs() <= DUAL_PIVOT_TOL {
+                    continue;
+                }
+                let ahat = sigma * alpha;
+                let eligible = match self.vstat[j] {
+                    VStat::AtLower => ahat > 0.0,
+                    VStat::AtUpper => ahat < 0.0,
+                    VStat::Free => true,
+                    VStat::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (d[j] / ahat).max(0.0);
+                if opts.dual_long_step {
+                    bps.push((ratio, j as u32));
+                } else {
+                    let better = match best {
+                        None => true,
+                        Some((br, bj2)) => {
+                            let window = 1e-10 * (1.0 + ratio.min(br));
+                            ratio < br - window
+                                || (ratio <= br + window && alpha.abs() > alphas[bj2].abs())
+                        }
+                    };
+                    if better {
+                        best = Some((ratio, j));
+                    }
+                }
+            }
+            if opts.dual_long_step && !bps.is_empty() {
+                // Bound-flipping ratio test: walk the breakpoints in
+                // ratio order; as long as flipping a boxed column to
+                // its other bound keeps the dual derivative positive,
+                // flip it and keep walking. The surviving breakpoint
+                // is the pivot — a flip-only step would leave the
+                // flipped columns dual-infeasible at their new bounds,
+                // so the walk must always end in a pivot whose d
+                // update restores their signs.
+                bps.sort_unstable_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("ratios are finite")
+                        .then(a.1.cmp(&b.1))
+                });
+                let mut slope = worst;
+                flip_cols.clear();
+                let mut chosen = None;
+                for (i, &(_, j32)) in bps.iter().enumerate() {
+                    let j = j32 as usize;
+                    let consume = alphas[j].abs() * (self.hi[j] - self.lo[j]);
+                    if i + 1 < bps.len() && consume.is_finite() && slope - consume > 0.0 {
+                        slope -= consume;
+                        flip_cols.push(j32);
+                    } else {
+                        chosen = Some(j);
+                        break;
+                    }
+                }
+                best = chosen.map(|j| (0.0, j));
+                if !flip_cols.is_empty() {
+                    // All flips land in one combined FTRAN.
+                    agg.clear();
+                    agg.resize(self.m, 0.0);
+                    for &j32 in &flip_cols {
+                        let j = j32 as usize;
+                        let (delta, to) = match self.vstat[j] {
+                            VStat::AtLower => (self.hi[j] - self.lo[j], VStat::AtUpper),
+                            VStat::AtUpper => (self.lo[j] - self.hi[j], VStat::AtLower),
+                            _ => unreachable!("only boxed columns are flipped"),
+                        };
+                        if j < self.n {
+                            self.csc.scatter_col(j, delta, &mut agg);
+                        } else {
+                            agg[j - self.n] += delta;
+                        }
+                        self.vstat[j] = to;
+                        stats.bound_flips += 1;
+                    }
+                    if let Some(lu) = &self.lu {
+                        lu.ftran(&mut agg);
+                    }
+                    self.etas.ftran(&mut agg);
+                    for (xb, &a) in self.xb.iter_mut().zip(&agg) {
+                        *xb -= a;
+                    }
+                }
+            }
+            let Some((_, q)) = best else {
+                // No entering candidate: a dual-unbounded direction,
+                // i.e. the LP is primal-infeasible — but that verdict
+                // belongs to phase 1, which proves it from scratch.
+                return;
+            };
+            // FTRAN the entering column. `w[r]` and `α_q` are the same
+            // quantity through the two triangular chains — divergence
+            // (or a tiny pivot) means drift: refresh and hand over.
+            self.transformed_col(q, w, pattern);
+            let wr = w[r];
+            if (wr - alphas[q]).abs() > 1e-7 * (1.0 + alphas[q].abs()) || wr.abs() < DUAL_PIVOT_TOL
+            {
+                self.refresh();
+                stats.refactors += 1;
+                return;
+            }
+            let bj = self.basis[r] as usize;
+            // Primal step (recomputed after any flips): the leaving
+            // basic travels from its violated value exactly onto the
+            // bound it violated.
+            let delta = self.xb[r] - bound_r;
+            let theta = d[q] / wr;
+            if theta.abs() <= 1e-12 {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            let entering_status = self.vstat[q];
+            let entering_start = self.nonbasic_value(q);
+            let step = delta / wr;
+            self.vstat[bj] = if sigma > 0.0 {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower
+            };
+            self.basis[r] = q as u32;
+            self.vstat[q] = VStat::Basic;
+            *iterations += 1;
+            stats.dual_iters += 1;
+            if !self.etas.push(r, w) || self.etas.len() >= REFACTOR_INTERVAL {
+                if self.refactor().is_ok() {
+                    stats.refactors += 1;
+                    self.compute_xb();
+                } else {
+                    // Near-singular update: undo and hand to phase 1.
+                    self.basis[r] = bj as u32;
+                    self.vstat[bj] = VStat::Basic;
+                    self.vstat[q] = entering_status;
+                    if self.refactor().is_err() {
+                        self.reset_basis();
+                        self.refactor().expect("slack basis is nonsingular");
+                    }
+                    stats.refactors += 1;
+                    self.compute_xb();
+                    return;
+                }
+            } else {
+                for (xb, &wp) in self.xb.iter_mut().zip(w.iter()) {
+                    if wp != 0.0 {
+                        *xb -= step * wp;
+                    }
+                }
+                self.xb[r] = entering_start + step;
+            }
+            // Maintain the dual prices: d_j ← d_j − θ·α_j over the
+            // nonbasics. The leaving column's α is 1 by definition
+            // (ρᵀa_B[r] = (B⁻¹a_B[r])_r = 1), which lands it at −θ —
+            // the dual-feasible side of the bound it settled on.
+            alphas[bj] = 1.0;
+            for j in 0..total {
+                if self.vstat[j] == VStat::Basic || self.lo[j] == self.hi[j] {
+                    continue;
+                }
+                let a = alphas[j];
+                if a != 0.0 {
+                    d[j] -= theta * a;
+                }
+            }
+            d[q] = 0.0;
+        }
+    }
+
+    /// Builds the Devex state from scratch: exact reduced costs via
+    /// one BTRAN + full sweep, all weights 1 (the current nonbasic set
+    /// is the reference framework).
+    fn devex_build(&mut self) -> Devex {
+        let total = self.n + self.m;
+        let mut y = vec![0.0f64; self.m];
+        for (p, &bj) in self.basis.iter().enumerate() {
+            y[p] = self.obj[bj as usize];
+        }
+        self.etas.btran(&mut y);
+        if let Some(lu) = &self.lu {
+            lu.btran(&mut y);
+        }
+        let mut d = vec![0.0f64; total];
+        for (j, dj) in d.iter_mut().enumerate() {
+            if self.vstat[j] == VStat::Basic {
+                continue;
+            }
+            let aty = if j < self.n {
+                self.csc.col_dot(j, &y)
+            } else {
+                y[j - self.n]
+            };
+            *dj = self.obj[j] - aty;
+        }
+        Devex {
+            d,
+            gamma: vec![1.0; total],
+            max_gamma: 1.0,
+            exact: true,
+        }
+    }
+
+    /// Devex pricing over the maintained reduced costs: cyclic partial
+    /// blocks like the Dantzig path, but each scanned column costs a
+    /// score comparison (`d_j² / γ_j`) instead of a sparse dot
+    /// product, so the scan is cheap enough to stay sequential.
+    fn devex_price(
+        &self,
+        dv: &Devex,
+        opts: &SimplexOptions,
+        cursor: &mut usize,
+        banned: &[u64],
+        iteration: u64,
+    ) -> Option<(usize, f64)> {
+        let total = self.n + self.m;
+        let mut scanned = 0usize;
+        while scanned < total {
+            let block = opts.pricing_block.min(total - scanned);
+            let start = *cursor;
+            let mut best: Option<(f64, usize, f64)> = None; // (score, j, d)
+            for k in 0..block {
+                let j = (start + k) % total;
+                let st = self.vstat[j];
+                if st == VStat::Basic || banned[j] > iteration || self.lo[j] == self.hi[j] {
+                    continue;
+                }
+                let dj = dv.d[j];
+                let viol = match st {
+                    VStat::AtLower => -dj,
+                    VStat::AtUpper => dj,
+                    VStat::Free => dj.abs(),
+                    VStat::Basic => unreachable!(),
+                };
+                if viol > opts.dual_tol {
+                    let score = dj * dj / dv.gamma[j];
+                    if best.is_none_or(|(s, _, _)| score > s) {
+                        best = Some((score, j, dj));
+                    }
+                }
+            }
+            *cursor = (start + block) % total;
+            scanned += block;
+            if let Some((_, j, dj)) = best {
+                return Some((j, dj));
+            }
+        }
+        None
+    }
+
+    /// The fused post-pivot Devex sweep: one BTRAN-derived ρ yields
+    /// every α_j = a_jᵀρ, which updates the maintained reduced costs
+    /// (`d_j −= θ·α_j`) and reference weights
+    /// (`γ_j = max(γ_j, (α_j/α_q)²·γ_q)`) in a single pass. Split
+    /// across the pool behind the deterministic work gate — each
+    /// column writes only its own `d[j]`/`γ[j]` slot and the max-γ
+    /// reduction is exact, so results are bit-identical at any thread
+    /// count.
+    fn devex_update(
+        &self,
+        dv: &mut Devex,
+        rho: &[f64],
+        theta: f64,
+        alpha_q: f64,
+        gamma_q: f64,
+        q: usize,
+    ) {
+        let total = self.n + self.m;
+        let work = self.csc.nnz() + self.m;
+        let threads = rayon::current_num_threads();
+        let chunk = if threads > 1 && work >= PAR_MIN_WORK {
+            total.div_ceil(threads * 4).max(1024)
+        } else {
+            total
+        };
+        let maxg = self.devex_sweep(
+            0,
+            &mut dv.d,
+            &mut dv.gamma,
+            rho,
+            theta,
+            alpha_q,
+            gamma_q,
+            chunk,
+        );
+        dv.d[q] = 0.0;
+        dv.max_gamma = dv.max_gamma.max(maxg);
+    }
+
+    /// Recursive splitter of [`SimplexSolver::devex_update`]'s sweep
+    /// over disjoint column sub-slices. Returns the largest weight
+    /// seen (an exact max-reduction).
+    #[allow(clippy::too_many_arguments)]
+    fn devex_sweep(
+        &self,
+        base: usize,
+        d: &mut [f64],
+        gamma: &mut [f64],
+        rho: &[f64],
+        theta: f64,
+        alpha_q: f64,
+        gamma_q: f64,
+        chunk: usize,
+    ) -> f64 {
+        if d.len() > chunk {
+            let mid = d.len() / 2;
+            let (d1, d2) = d.split_at_mut(mid);
+            let (g1, g2) = gamma.split_at_mut(mid);
+            let (a, b) = rayon::join(
+                || self.devex_sweep(base, d1, g1, rho, theta, alpha_q, gamma_q, chunk),
+                || self.devex_sweep(base + mid, d2, g2, rho, theta, alpha_q, gamma_q, chunk),
+            );
+            return a.max(b);
+        }
+        let mut maxg = 0.0f64;
+        for (off, (dj, gj)) in d.iter_mut().zip(gamma.iter_mut()).enumerate() {
+            let j = base + off;
+            if self.vstat[j] == VStat::Basic || self.lo[j] == self.hi[j] {
+                continue;
+            }
+            let alpha = if j < self.n {
+                self.csc.col_dot(j, rho)
+            } else {
+                rho[j - self.n]
+            };
+            if alpha != 0.0 {
+                *dj -= theta * alpha;
+                let ref_ratio = alpha / alpha_q;
+                let cand = ref_ratio * ref_ratio * gamma_q;
+                if cand > *gj {
+                    *gj = cand;
+                }
+            }
+            if *gj > maxg {
+                maxg = *gj;
+            }
+        }
+        maxg
+    }
+
+    /// FTRAN of column `q` through the hypersparse kernel:
+    /// `w ← B⁻¹ a_q`, using `pattern` as scratch for the column's
+    /// nonzero rows.
+    fn transformed_col(&mut self, q: usize, w: &mut Vec<f64>, pattern: &mut Vec<u32>) {
+        w.clear();
+        w.resize(self.m, 0.0);
+        pattern.clear();
+        if q < self.n {
+            self.csc.scatter_col(q, 1.0, w);
+            pattern.extend(self.csc.col(q).map(|(r, _)| r));
+        } else {
+            w[q - self.n] = 1.0;
+            pattern.push((q - self.n) as u32);
+        }
+        if let Some(lu) = self.lu.as_ref() {
+            lu.ftran_sparse(w, pattern, &mut self.scratch);
+        }
+        self.etas.ftran(w);
+    }
+
+    /// Assembles the solution for a terminal (or budget-capped) state.
+    fn finish(&self, status: LpStatus, iterations: u64, stats: LpStats) -> LpSolution {
+        let x = self.structural_solution();
+        let objective: f64 = self.obj[..self.n].iter().zip(&x).map(|(c, v)| c * v).sum();
+        let dual_bound = match status {
+            LpStatus::Optimal => Some(objective),
+            LpStatus::IterLimit | LpStatus::TimeLimit => {
+                // Best of the periodically tracked bound and whatever
+                // the final basis certifies.
+                match (self.best_dual_bound, self.lagrangian_bound()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            LpStatus::Infeasible | LpStatus::Unbounded => None,
+        };
+        LpSolution {
+            status,
+            objective,
+            x,
+            iterations,
+            basis: self.basis(),
+            stats,
+            dual_bound,
+        }
+    }
+
+    /// The Lagrangian bound `L(y) = yᵀb + Σ_j min(d_j·lo_j, d_j·hi_j)`
+    /// of the current basic dual prices, over structural and slack
+    /// columns alike (`d_B ≡ 0` by construction of `y`). Valid for
+    /// *any* `y`, so budget-capped runs can report it honestly instead
+    /// of their meaningless last primal objective. `None` when a
+    /// wrong-sign reduced cost sits on an infinite bound — the inner
+    /// minimum is −∞ and this `y` certifies nothing.
+    fn lagrangian_bound(&self) -> Option<f64> {
+        self.lu.as_ref()?;
+        let mut y = vec![0.0f64; self.m];
+        for (p, &bj) in self.basis.iter().enumerate() {
+            y[p] = self.obj[bj as usize];
+        }
+        self.etas.btran(&mut y);
+        if let Some(lu) = &self.lu {
+            lu.btran(&mut y);
+        }
+        let mut bound: f64 = y.iter().zip(&self.rhs).map(|(yi, bi)| yi * bi).sum();
+        for j in 0..self.n + self.m {
+            if self.vstat[j] == VStat::Basic {
+                continue;
+            }
+            let aty = if j < self.n {
+                self.csc.col_dot(j, &y)
+            } else {
+                y[j - self.n]
+            };
+            let dj = self.obj[j] - aty;
+            if dj > 0.0 {
+                if !self.lo[j].is_finite() {
+                    return None;
+                }
+                bound += dj * self.lo[j];
+            } else if dj < 0.0 {
+                if !self.hi[j].is_finite() {
+                    return None;
+                }
+                bound += dj * self.hi[j];
+            }
+        }
+        Some(bound)
     }
 
     /// Partial-pricing scan. Returns the entering column and its
@@ -696,7 +1514,10 @@ impl SimplexSolver {
         opts: &SimplexOptions,
     ) -> Option<(f64, f64, usize)> {
         let st = self.vstat[j];
-        if st == VStat::Basic || banned[j] > iteration {
+        // Fixed (lo == hi) columns are skipped: their value is forced,
+        // so any reduced-cost sign is KKT-compatible and entering one
+        // is always a zero-length step.
+        if st == VStat::Basic || banned[j] > iteration || self.lo[j] == self.hi[j] {
             return None;
         }
         let cj = if phase1 { 0.0 } else { self.obj[j] };
@@ -746,7 +1567,7 @@ impl SimplexSolver {
             best
         };
         let threads = rayon::current_num_threads();
-        let best = if threads > 1 && len >= PAR_PRICING_MIN_COLS {
+        let best = if threads > 1 && len >= self.par_min_cols {
             // Fixed-size chunks in ascending offset order; the in-order
             // fold below makes the cross-chunk tie-break (smallest
             // offset) identical to the sequential scan.

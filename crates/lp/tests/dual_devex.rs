@@ -1,0 +1,275 @@
+//! Differential suites for the phase-2 accelerators: the dual-simplex
+//! warm-repair loop and Devex pricing must change *how fast* the
+//! solver gets to an answer, never *which* answer. Every test pits an
+//! accelerated configuration against the plain primal/Dantzig path on
+//! the same model and demands matching verdicts and objectives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cawo_lp::{solve, LpStatus, Pricing, RowCmp, SimplexOptions, SimplexSolver, SparseLp};
+
+/// Same constructed-feasible generator as `random_lp.rs`: bounds are
+/// sampled around a witness point and rhs values keep it feasible.
+fn random_feasible_lp(rng: &mut StdRng, n: usize, m: usize) -> (SparseLp, Vec<f64>) {
+    let mut lp = SparseLp::new();
+    let mut witness = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = rng.gen_range(-5.0..5.0);
+        let lo = if rng.gen_range(0..4) == 0 {
+            f64::NEG_INFINITY
+        } else {
+            x - rng.gen_range(0.0..4.0)
+        };
+        let hi = if rng.gen_range(0..4) == 0 {
+            f64::INFINITY
+        } else {
+            x + rng.gen_range(0.0..4.0)
+        };
+        let c = match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => rng.gen_range(-3.0..3.0),
+            (true, false) => rng.gen_range(0.0..3.0),
+            (false, true) => rng.gen_range(-3.0..0.0),
+            (false, false) => 0.0,
+        };
+        lp.add_col(c, lo, hi);
+        witness.push(x);
+    }
+    for _ in 0..m {
+        let k = rng.gen_range(1..=3.min(n));
+        let mut terms: Vec<(u32, f64)> = Vec::new();
+        for _ in 0..k {
+            terms.push((rng.gen_range(0..n) as u32, rng.gen_range(-4.0..4.0)));
+        }
+        let lhs: f64 = terms.iter().map(|&(j, a)| a * witness[j as usize]).sum();
+        match rng.gen_range(0..3) {
+            0 => lp.add_row(terms, RowCmp::Le, lhs + rng.gen_range(0.0..2.0)),
+            1 => lp.add_row(terms, RowCmp::Ge, lhs - rng.gen_range(0.0..2.0)),
+            _ => lp.add_row(terms, RowCmp::Eq, lhs),
+        }
+    }
+    (lp, witness)
+}
+
+fn opts(pricing: Pricing, dual_warm: bool, dual_long_step: bool) -> SimplexOptions {
+    SimplexOptions {
+        pricing,
+        dual_warm,
+        dual_long_step,
+        ..SimplexOptions::default()
+    }
+}
+
+#[test]
+fn devex_and_dantzig_find_the_same_optima() {
+    let mut rng = StdRng::seed_from_u64(0xD5_2026);
+    for trial in 0..150 {
+        let n = rng.gen_range(1..12);
+        let m = rng.gen_range(0..14);
+        let (lp, _) = random_feasible_lp(&mut rng, n, m);
+        let devex = solve(&lp, &opts(Pricing::Devex, false, false));
+        let dantzig = solve(&lp, &opts(Pricing::Dantzig, false, false));
+        assert_eq!(devex.status, LpStatus::Optimal, "trial {trial}");
+        assert_eq!(dantzig.status, LpStatus::Optimal, "trial {trial}");
+        assert_eq!(devex.stats.pricing, "devex");
+        assert_eq!(dantzig.stats.pricing, "dantzig");
+        // Different pivot sequences, same polyhedron: the optimal
+        // value is unique even when the vertex is not.
+        assert!(
+            (devex.objective - dantzig.objective).abs() < 1e-7 * (1.0 + dantzig.objective.abs()),
+            "trial {trial}: devex {} vs dantzig {}",
+            devex.objective,
+            dantzig.objective
+        );
+        assert!(lp.max_violation(&devex.x) < 1e-6, "trial {trial}");
+    }
+}
+
+#[test]
+fn dual_warm_resolve_matches_cold_primal_after_bound_tightening() {
+    let mut rng = StdRng::seed_from_u64(0xDA_2026);
+    let mut dual_engaged = 0u32;
+    let mut repaired = 0u32;
+    for trial in 0..200 {
+        let n = rng.gen_range(2..12);
+        let m = rng.gen_range(1..12);
+        let (mut lp, _) = random_feasible_lp(&mut rng, n, m);
+        let mut solver = SimplexSolver::new(&lp);
+        let first = solver.solve(&opts(Pricing::Devex, true, false));
+        assert_eq!(first.status, LpStatus::Optimal, "trial {trial}");
+
+        // Branch the way B&B does: clamp a bounded column to a
+        // sub-range of its domain, preferably cutting off its current
+        // optimal value so the warm basis is primal-infeasible.
+        let j = rng.gen_range(0..n);
+        let (lo, hi) = lp.bounds(j);
+        if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-9 {
+            continue;
+        }
+        let cut = lo + (hi - lo) * rng.gen_range(0.2..0.8);
+        let (nlo, nhi) = if first.x[j] > cut {
+            (lo, cut) // floor branch: x_j ≤ cut
+        } else {
+            (cut, hi) // ceil branch: x_j ≥ cut
+        };
+        solver.set_col_bounds(j, nlo, nhi);
+        let warm = solver.solve(&opts(Pricing::Devex, true, false));
+        // A bound change never touches reduced costs, so the warm
+        // basis re-solves in zero pivots iff it stayed primal
+        // feasible; any pivots at all mean a repair was needed — and
+        // that repair is exactly the dual loop's job.
+        if warm.iterations > 0 {
+            repaired += 1;
+            if warm.stats.dual_iters > 0 {
+                dual_engaged += 1;
+            }
+        }
+
+        lp.set_bounds(j, nlo, nhi);
+        let cold = solve(&lp, &opts(Pricing::Devex, false, false));
+        assert_eq!(warm.status, cold.status, "trial {trial}");
+        if cold.status == LpStatus::Optimal {
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-7 * (1.0 + cold.objective.abs()),
+                "trial {trial}: warm dual {} vs cold primal {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(lp.max_violation(&warm.x) < 1e-6, "trial {trial}");
+        }
+    }
+    // The accelerator must actually fire on a healthy fraction of the
+    // repairs, not silently bail to phase 1 every time.
+    assert!(repaired >= 20, "too few infeasible warm starts: {repaired}");
+    assert!(
+        dual_engaged * 2 >= repaired,
+        "dual loop engaged on only {dual_engaged}/{repaired} warm repairs"
+    );
+}
+
+#[test]
+fn dual_long_step_matches_single_step() {
+    let mut rng = StdRng::seed_from_u64(0xBF_2026);
+    for trial in 0..150 {
+        let n = rng.gen_range(2..12);
+        let m = rng.gen_range(1..12);
+        let (mut lp, _) = random_feasible_lp(&mut rng, n, m);
+        let mut short = SimplexSolver::new(&lp);
+        let mut long = SimplexSolver::new(&lp);
+        let a = short.solve(&opts(Pricing::Devex, true, false));
+        let b = long.solve(&opts(Pricing::Devex, true, true));
+        assert_eq!(a.status, b.status, "trial {trial}");
+
+        let j = rng.gen_range(0..n);
+        let (lo, hi) = lp.bounds(j);
+        if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-9 {
+            continue;
+        }
+        let cut = lo + (hi - lo) * rng.gen_range(0.2..0.8);
+        let (nlo, nhi) = if a.x[j] > cut { (lo, cut) } else { (cut, hi) };
+        short.set_col_bounds(j, nlo, nhi);
+        long.set_col_bounds(j, nlo, nhi);
+        lp.set_bounds(j, nlo, nhi);
+        let a = short.solve(&opts(Pricing::Devex, true, false));
+        let b = long.solve(&opts(Pricing::Devex, true, true));
+        assert_eq!(a.status, b.status, "trial {trial}");
+        if a.status == LpStatus::Optimal {
+            assert!(
+                (a.objective - b.objective).abs() < 1e-7 * (1.0 + a.objective.abs()),
+                "trial {trial}: single-step {} vs long-step {}",
+                a.objective,
+                b.objective
+            );
+            assert!(lp.max_violation(&b.x) < 1e-6, "trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn timelimit_rows_carry_a_valid_dual_bound() {
+    // A capped run must report a bound that is actually a lower bound
+    // on the true optimum (minimisation), or honestly report none.
+    let mut rng = StdRng::seed_from_u64(0x1b_2026);
+    let mut bounded = 0u32;
+    for trial in 0..120 {
+        let n = rng.gen_range(4..14);
+        let m = rng.gen_range(4..14);
+        let (lp, _) = random_feasible_lp(&mut rng, n, m);
+        let full = solve(&lp, &SimplexOptions::default());
+        assert_eq!(full.status, LpStatus::Optimal, "trial {trial}");
+        assert_eq!(
+            full.dual_bound,
+            Some(full.objective),
+            "trial {trial}: optimal rows echo the objective as the bound"
+        );
+        for cap in [0, 1, 2, 5] {
+            let capped = solve(
+                &lp,
+                &SimplexOptions {
+                    max_iters: cap,
+                    ..SimplexOptions::default()
+                },
+            );
+            if capped.status != LpStatus::IterLimit {
+                continue;
+            }
+            if let Some(b) = capped.dual_bound {
+                bounded += 1;
+                assert!(
+                    b <= full.objective + 1e-6 * (1.0 + full.objective.abs()),
+                    "trial {trial} cap {cap}: claimed bound {b} exceeds optimum {}",
+                    full.objective
+                );
+            }
+        }
+    }
+    assert!(
+        bounded > 20,
+        "Lagrangian bound almost never finite: {bounded}"
+    );
+}
+
+#[test]
+fn dantzig_parallel_pricing_is_bit_identical() {
+    // `random_lp.rs` pins the default (Devex) path; this pins the
+    // Dantzig block scan whose parallel gate is now work-based.
+    let mut rng = StdRng::seed_from_u64(90_211);
+    let (lp, _) = random_feasible_lp(&mut rng, 4500, 300);
+    let o = opts(Pricing::Dantzig, false, false);
+    let solve_on = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| solve(&lp, &o))
+    };
+    let one = solve_on(1);
+    let four = solve_on(4);
+    assert_eq!(one.status, LpStatus::Optimal);
+    assert_eq!(one.status, four.status);
+    assert_eq!(one.iterations, four.iterations);
+    assert_eq!(one.objective.to_bits(), four.objective.to_bits());
+    for (a, b) in one.x.iter().zip(&four.x) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn stats_account_for_every_iteration() {
+    let mut rng = StdRng::seed_from_u64(0x57_475);
+    for trial in 0..60 {
+        let n = rng.gen_range(2..10);
+        let m = rng.gen_range(1..10);
+        let (lp, _) = random_feasible_lp(&mut rng, n, m);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(sol.status, LpStatus::Optimal, "trial {trial}");
+        let s = sol.stats;
+        assert_eq!(
+            s.phase1_iters + s.phase2_iters + s.dual_iters,
+            sol.iterations,
+            "trial {trial}: stats {s:?} vs iterations {}",
+            sol.iterations
+        );
+        assert!(s.par_gate_cols > 0, "trial {trial}: gate never computed");
+    }
+}

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cawo_lp::lu::LuFactors;
+use cawo_lp::lu::{FtranScratch, LuFactors};
 
 fn random_basis(rng: &mut StdRng, m: usize) -> Vec<Vec<(u32, f64)>> {
     let mut cols: Vec<Vec<(u32, f64)>> = Vec::new();
@@ -94,4 +94,43 @@ fn ftran_btran_residuals_vanish_on_random_bases() {
         assert!(worst < 1e-6, "BTRAN residual {worst} on {cols:?}");
     }
     assert!(factored > 5_000, "generator mostly singular: {factored}");
+}
+
+#[test]
+fn hypersparse_ftran_matches_dense_on_random_bases() {
+    let mut rng = StdRng::seed_from_u64(0x2f_2026);
+    let mut scratch = FtranScratch::default();
+    let mut factored = 0u32;
+    for _ in 0..10_000 {
+        let m = rng.gen_range(2..12);
+        let cols = random_basis(&mut rng, m);
+        let mut counts = vec![0u32; m];
+        for col in &cols {
+            for &(r, _) in col {
+                counts[r as usize] += 1;
+            }
+        }
+        let Ok(lu) = LuFactors::factor(m, &cols, &counts) else {
+            continue;
+        };
+        factored += 1;
+        // Sparse RHS: 1–3 nonzeros, the child-node re-solve shape.
+        let nnz = rng.gen_range(1..=3.min(m));
+        let mut pattern: Vec<u32> = Vec::new();
+        let mut dense = vec![0.0f64; m];
+        for _ in 0..nnz {
+            let r = rng.gen_range(0..m);
+            dense[r] = rng.gen_range(-4i64..=4) as f64 / 2.0;
+            pattern.push(r as u32);
+        }
+        let mut sparse = dense.clone();
+        lu.ftran(&mut dense);
+        lu.ftran_sparse(&mut sparse, &pattern, &mut scratch);
+        for (d, s) in dense.iter().zip(&sparse) {
+            // `==` (not bit compare): untouched entries may hold the
+            // opposite zero sign, which is inert downstream.
+            assert!(d == s, "hypersparse mismatch: {dense:?} vs {sparse:?}");
+        }
+    }
+    assert!(factored > 2_500, "generator mostly singular: {factored}");
 }

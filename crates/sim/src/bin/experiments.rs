@@ -120,7 +120,8 @@ fn main() {
 
     println!(
         "instance,family,size,size_class,cluster,scenario,deadline,\
-         n_tasks,gc_nodes,asap_makespan,kind,algorithm,cost,millis,status,nodes,lower_bound,threads"
+         n_tasks,gc_nodes,asap_makespan,kind,algorithm,cost,millis,status,nodes,lower_bound,\
+         lp_iters,cuts,pricing,threads"
     );
     for r in &results {
         let prefix = format!(
@@ -140,7 +141,7 @@ fn main() {
         );
         for (i, &v) in r.variants.iter().enumerate() {
             println!(
-                "{prefix},variant,{},{},{:.4},,,,{threads}",
+                "{prefix},variant,{},{},{:.4},,,,,,,{threads}",
                 v.name(),
                 r.cost[i],
                 r.millis[i],
@@ -148,13 +149,16 @@ fn main() {
         }
         for row in &r.solver_rows {
             println!(
-                "{prefix},solver,{},{},{:.4},{},{},{},{threads}",
+                "{prefix},solver,{},{},{:.4},{},{},{},{},{},{},{threads}",
                 row.kind.name(),
                 row.cost.map_or_else(String::new, |c| c.to_string()),
                 row.millis,
                 row.status.name(),
                 row.nodes,
                 row.lower_bound.map_or_else(String::new, |c| c.to_string()),
+                row.lp_iters,
+                row.cuts,
+                row.pricing,
             );
         }
     }

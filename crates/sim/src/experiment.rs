@@ -318,6 +318,12 @@ pub struct SolverRow {
     pub nodes: u64,
     /// Wall-clock milliseconds spent in the solver.
     pub millis: f64,
+    /// LP iterations across the run (0 for non-LP solvers).
+    pub lp_iters: u64,
+    /// Root cuts appended (0 for non-MILP solvers).
+    pub cuts: u32,
+    /// Pricing rule of the LP engine (`"-"` for non-LP solvers).
+    pub pricing: &'static str,
 }
 
 /// Costs and timings of every variant on one instance.
@@ -528,6 +534,9 @@ pub fn run_one(
                     lower_bound: res.lower_bound,
                     nodes: res.nodes,
                     millis,
+                    lp_iters: res.stats.lp_iterations,
+                    cuts: res.stats.cuts,
+                    pricing: res.stats.pricing,
                 }
             }
             Err(e) => SolverRow {
@@ -540,6 +549,9 @@ pub fn run_one(
                 lower_bound: None,
                 nodes: 0,
                 millis,
+                lp_iters: 0,
+                cuts: 0,
+                pricing: "-",
             },
         }
     };

@@ -20,7 +20,7 @@ use cawo_heft::heft_schedule;
 use cawo_platform::{DeadlineFactor, Scenario};
 use cawo_sim::experiment::{run_one, ClusterKind, ExperimentConfig, GridScale, InstanceSpec};
 
-fn run_spec(scaled_to: Option<usize>, budget: Budget) {
+fn run_spec(scaled_to: Option<usize>, budget: Budget, require_milp_optimal: bool) {
     let cfg = ExperimentConfig {
         variants: vec![Variant::Asap, Variant::PressWRLs],
         solvers: vec![SolverKind::Lp, SolverKind::Milp],
@@ -70,13 +70,20 @@ fn run_spec(scaled_to: Option<usize>, budget: Budget) {
         if status == "optimal" {
             assert_eq!(row.lower_bound, Some(cost));
         }
+        if require_milp_optimal && row.kind == SolverKind::Milp {
+            assert_eq!(
+                status, "optimal",
+                "milp must close the Fig. 7 regime (LP-guided rounding + \
+                 root cuts + dual repair), not just report an incumbent"
+            );
+        }
     }
 }
 
 /// Debug-friendly miniature of the same end-to-end path.
 #[test]
 fn sparse_solvers_conclude_on_a_scaled_down_grid_instance() {
-    run_spec(Some(40), Budget::parse("60s").unwrap());
+    run_spec(Some(40), Budget::parse("60s").unwrap(), false);
 }
 
 /// The paper's Fig. 7 regime: 200-task replica, small cluster, S1,
@@ -84,5 +91,5 @@ fn sparse_solvers_conclude_on_a_scaled_down_grid_instance() {
 #[test]
 #[ignore = "release-scale: cargo test --release -p cawo_sim --test lp_scale -- --ignored"]
 fn sparse_solvers_conclude_on_the_200_task_regime() {
-    run_spec(Some(200), Budget::parse("45s").unwrap());
+    run_spec(Some(200), Budget::parse("45s").unwrap(), true);
 }
