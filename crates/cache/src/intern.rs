@@ -1,0 +1,134 @@
+//! Arena/zero-copy instance building: keyed interners behind
+//! reference-counted handles.
+//!
+//! Building an [`cawo_core::Instance`] allocates the enhanced DAG,
+//! execution tables and unit orders; compiling a
+//! [`cawo_platform::PowerProfile`] from a measured trace parses CSV and
+//! resamples thousands of points. A serving loop repeats both with
+//! identical inputs on almost every query. An [`Interner`] keys the
+//! built artefact by a caller-supplied content key (see
+//! [`crate::key`]), hands out `Arc` clones, and only ever runs the
+//! builder on the first request — the Nth instance against the same
+//! cluster+trace costs one map probe and one atomic increment.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cawo_core::Instance;
+use cawo_platform::PowerProfile;
+
+/// A content-keyed pool of immutable, reference-counted values.
+///
+/// Thread-safe; the builder closure runs outside the lock on a miss, so
+/// a slow build never blocks concurrent hits (two racing builders for
+/// the same key both build, the first insert wins and both callers get
+/// the same `Arc` lineage on later lookups).
+#[derive(Debug)]
+pub struct Interner<T> {
+    map: Mutex<HashMap<u128, Arc<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> Interner<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the pooled value for `key`, building it on first use.
+    pub fn intern_with(&self, key: u128, build: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Looks up without building.
+    pub fn get(&self, key: u128) -> Option<Arc<T>> {
+        self.map.lock().unwrap().get(&key).map(Arc::clone)
+    }
+
+    /// Number of distinct pooled values.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The two pools a serving loop needs: compiled instances (enhanced
+/// DAG + tables) and compiled power profiles. Both are keyed by
+/// content, so re-submitting the same workflow against the same trace
+/// allocates nothing new.
+#[derive(Debug, Default)]
+pub struct InstancePool {
+    /// Built instances keyed by workflow/cluster/mapping content.
+    pub instances: Interner<Instance>,
+    /// Compiled profiles keyed by scenario/trace/deadline content.
+    pub profiles: Interner<PowerProfile>,
+}
+
+impl InstancePool {
+    /// An empty pool pair.
+    pub fn new() -> Self {
+        InstancePool::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_builds_once_per_key() {
+        let pool: Interner<Vec<u32>> = Interner::new();
+        let mut builds = 0;
+        let a = pool.intern_with(1, || {
+            builds += 1;
+            vec![1, 2, 3]
+        });
+        let b = pool.intern_with(1, || {
+            builds += 1;
+            vec![9, 9, 9]
+        });
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.stats(), (1, 1));
+        let c = pool.intern_with(2, || {
+            builds += 1;
+            vec![4]
+        });
+        assert_eq!(builds, 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pool.get(2).as_deref(), Some(&vec![4]));
+        assert_eq!(pool.get(3), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! Warm-path serving layer for CaWoSched (the substrate of the
+//! ROADMAP's `cawod` daemon): repeated and near-repeated queries in
+//! far less than a cold solve.
+//!
+//! * [`key`] — stable 128-bit content hashing of instances, profiles
+//!   and query labels, with an independently-seeded verify signature
+//!   guarding against hash collisions,
+//! * [`store`] — the [`SolveCache`]: exact-key hits, warm-state
+//!   re-solves (cached incumbent + root LP basis through
+//!   [`cawo_exact::WarmStart`]) and incremental trace-tail re-answers
+//!   ([`cawo_core::reanswer_cost`]),
+//! * [`intern`] — content-keyed interners handing out
+//!   reference-counted instances and compiled profiles, so building
+//!   the Nth instance against the same cluster+trace allocates almost
+//!   nothing.
+
+#![warn(missing_docs)]
+
+pub mod intern;
+pub mod key;
+pub mod store;
+
+pub use intern::{InstancePool, Interner};
+pub use key::{instance_fingerprint, profile_fingerprint, query_key, ContentKey, KeyHasher};
+pub use store::{CacheOutcome, CacheStats, EvalAnswer, SolveCache};

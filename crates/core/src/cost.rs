@@ -41,6 +41,28 @@ pub type Cost = u64;
 /// and the budget are constant. Time past the profile's deadline (only
 /// possible for invalid schedules) is costed with budget 0.
 pub fn carbon_cost(inst: &Instance, sched: &Schedule, profile: &PowerProfile) -> Cost {
+    sweep_cost(inst, sched, profile, 0)
+}
+
+/// Carbon cost restricted to the suffix `[from, ∞)` of the horizon.
+///
+/// Identical sweep to [`carbon_cost`], but segments before `from`
+/// contribute nothing: the running working power is pre-rolled up to
+/// `from` and the sweep starts there. By construction
+/// `carbon_cost(..) == carbon_cost_from(.., 0)` and, for any split
+/// point `t`, `carbon_cost(..) == (cost over [0,t)) +
+/// carbon_cost_from(.., t)` — the identity the incremental trace-tail
+/// re-answer in [`crate::engine::reanswer`] relies on.
+pub fn carbon_cost_from(
+    inst: &Instance,
+    sched: &Schedule,
+    profile: &PowerProfile,
+    from: Time,
+) -> Cost {
+    sweep_cost(inst, sched, profile, from)
+}
+
+fn sweep_cost(inst: &Instance, sched: &Schedule, profile: &PowerProfile, from: Time) -> Cost {
     let n = inst.node_count();
     let mut events: Vec<(Time, i64)> = Vec::with_capacity(2 * n);
     for v in 0..n as NodeId {
@@ -60,10 +82,19 @@ pub fn carbon_cost(inst: &Instance, sched: &Schedule, profile: &PowerProfile) ->
 
     let mut cost: u128 = 0;
     let mut work: i64 = 0;
-    let mut t: Time = 0;
     let mut ei = 0; // next event
-    let mut bi = 1; // next boundary (boundaries[0] == 0)
     let end = events.last().map_or(deadline, |&(te, _)| te.max(deadline));
+    if from >= end {
+        return 0;
+    }
+    // Pre-roll the working power over [0, from): events strictly before
+    // the suffix start are applied without costing their segments.
+    while ei < events.len() && events[ei].0 < from {
+        work += events[ei].1;
+        ei += 1;
+    }
+    let mut t: Time = from;
+    let mut bi = boundaries.partition_point(|&b| b <= from); // next boundary > t
     while t < end {
         // Apply all events at time t.
         while ei < events.len() && events[ei].0 == t {
@@ -243,6 +274,63 @@ mod tests {
                 carbon_cost(&inst, &s, &profile),
                 carbon_cost_naive(&inst, &s, &profile)
             );
+        }
+    }
+
+    #[test]
+    fn suffix_cost_splits_total() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = two_task_instance();
+        for _ in 0..40 {
+            let boundaries = vec![0, 4, 9, 16];
+            let budgets = (0..3).map(|_| rng.gen_range(0..20)).collect();
+            let profile = PowerProfile::from_parts(boundaries, budgets);
+            let s = Schedule::new(vec![rng.gen_range(0..=12), rng.gen_range(0..=14)]);
+            let total = carbon_cost(&inst, &s, &profile);
+            assert_eq!(carbon_cost_from(&inst, &s, &profile, 0), total);
+            for from in 0..=20 {
+                let suffix = carbon_cost_from(&inst, &s, &profile, from);
+                let prefix = total - suffix; // suffix ≤ total by construction
+                                             // Re-derive the prefix independently: total of a profile
+                                             // truncated at `from` would change budgets, so instead
+                                             // check monotonicity and the exact split at breakpoints.
+                assert!(suffix <= total, "from {from}");
+                let _ = prefix;
+            }
+            // Exact split check: suffix(from) + (total − suffix(from))
+            // must reconstruct the sweep — verified against the naive
+            // per-time-unit oracle restricted to the suffix.
+            for from in [0, 3, 4, 5, 9, 13, 16, 40] {
+                let suffix = carbon_cost_from(&inst, &s, &profile, from);
+                let naive_suffix: u64 = {
+                    let deadline = profile.deadline();
+                    let horizon = (0..2)
+                        .map(|v| s.finish(v, &inst))
+                        .max()
+                        .unwrap()
+                        .max(deadline);
+                    let idle = inst.total_idle_power() as i64;
+                    (from..horizon)
+                        .map(|t| {
+                            let mut p = idle;
+                            for v in 0..2 {
+                                if s.start(v) <= t && t < s.finish(v, &inst) {
+                                    p += inst.work_power(v) as i64;
+                                }
+                            }
+                            let g = if t < deadline {
+                                profile.budget_at(t) as i64
+                            } else {
+                                0
+                            };
+                            (p - g).max(0) as u64
+                        })
+                        .sum()
+                };
+                assert_eq!(suffix, naive_suffix, "from {from}");
+            }
         }
     }
 }

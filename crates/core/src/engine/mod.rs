@@ -30,10 +30,12 @@ use crate::schedule::Schedule;
 mod dense;
 mod fenwick;
 mod interval;
+pub mod reanswer;
 
 pub use dense::DenseGrid;
 pub use fenwick::{Fenwick, FenwickEngine, PrefixCost};
 pub use interval::IntervalEngine;
+pub use reanswer::{profile_divergence, reanswer_cost, repair_for_deadline};
 
 /// Incremental evaluator of the carbon cost of one schedule.
 ///

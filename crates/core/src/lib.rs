@@ -37,9 +37,12 @@ pub mod subdivision;
 pub mod variant;
 
 pub use bounds::Bounds;
-pub use cost::{carbon_cost, carbon_cost_naive, energy_report, Cost, EnergyReport};
+pub use cost::{
+    carbon_cost, carbon_cost_from, carbon_cost_naive, energy_report, Cost, EnergyReport,
+};
 pub use engine::{
-    CostEngine, DenseGrid, EngineKind, Fenwick, FenwickEngine, IntervalEngine, PrefixCost,
+    profile_divergence, reanswer_cost, repair_for_deadline, CostEngine, DenseGrid, EngineKind,
+    Fenwick, FenwickEngine, IntervalEngine, PrefixCost,
 };
 pub use enhanced::{Instance, NodeKind, UnitId};
 pub use greedy::{greedy_schedule, greedy_schedule_with_engine, GreedyConfig};

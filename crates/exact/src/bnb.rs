@@ -41,8 +41,8 @@ use cawo_graph::NodeId;
 use cawo_platform::{PowerProfile, Time};
 
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
-    SolveStatus, Solver,
+    require_feasible, warm_incumbent, Budget, SolveError, SolveResult, SolveStats, SolveStatus,
+    Solver, WarmStart,
 };
 
 /// Which start times a node may branch over.
@@ -690,8 +690,34 @@ impl Solver for BnbSolver {
         profile: &PowerProfile,
         budget: Budget,
     ) -> Result<SolveResult, SolveError> {
+        self.solve_inner(inst, profile, budget, &WarmStart::default())
+    }
+
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
+        self.solve_inner(inst, profile, budget, warm)
+    }
+}
+
+impl BnbSolver {
+    fn solve_inner(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
         require_feasible(inst, profile)?;
-        let (incumbent, _) = heuristic_incumbent(inst, profile);
+        // A warm incumbent (cache hit on a related query) tightens the
+        // initial upper bound, which is the main pruning lever of this
+        // search; the LP basis hint does not apply to a combinatorial
+        // method and is ignored.
+        let (incumbent, _) = warm_incumbent(inst, profile, warm);
         let config = BnbConfig {
             budget,
             incumbent: Some(incumbent),
@@ -719,6 +745,7 @@ impl Solver for BnbSolver {
             nodes: res.nodes,
             lower_bound,
             stats: SolveStats::default(),
+            basis: None,
         })
     }
 }

@@ -372,6 +372,7 @@ impl Solver for DpSolver {
                 status: SolveStatus::Optimal,
                 nodes: cells,
                 stats: SolveStats::default(),
+                basis: None,
             },
             None => {
                 // The table was abandoned mid-build; there is no DP
@@ -384,6 +385,7 @@ impl Solver for DpSolver {
                     nodes: 0,
                     lower_bound: None,
                     stats: SolveStats::default(),
+                    basis: None,
                 }
             }
         })

@@ -223,6 +223,7 @@ impl Solver for EscheduleSolver {
             nodes: 0,
             lower_bound: None,
             stats: SolveStats::default(),
+            basis: None,
         })
     }
 }

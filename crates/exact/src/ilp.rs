@@ -536,7 +536,53 @@ impl crate::solver::Solver for IlpSolver {
                 )));
             }
         }
-        let res = crate::bnb::BnbSolver::default().solve(inst, profile, budget)?;
+        self.certify(inst, profile, use_dense, || {
+            crate::bnb::BnbSolver::default().solve(inst, profile, budget)
+        })
+    }
+
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: crate::solver::Budget,
+        warm: &crate::solver::WarmStart,
+    ) -> Result<crate::solver::SolveResult, crate::solver::SolveError> {
+        // Same certification as the cold path; only the inner search is
+        // seeded. Re-run the size guards by delegating to `solve`'s
+        // preamble via a fresh call.
+        use crate::solver::SolveError;
+        crate::solver::require_feasible(inst, profile)?;
+        let n = inst.node_count();
+        let t = profile.deadline() as usize;
+        let var_count = IlpModel::var_count_for(n, t);
+        let use_dense = var_count <= self.max_vars;
+        if !use_dense {
+            let est_cols = crate::sparse_model::SparseA4Model::column_count_for(inst, profile);
+            if est_cols > self.max_sparse_cols {
+                return Err(SolveError::Unsupported(format!(
+                    "certification model needs {var_count} dense variables and ≈{est_cols} \
+                     sparse columns (caps {} / {})",
+                    self.max_vars, self.max_sparse_cols
+                )));
+            }
+        }
+        self.certify(inst, profile, use_dense, || {
+            crate::bnb::BnbSolver::default().solve_warm(inst, profile, budget, warm)
+        })
+    }
+}
+
+impl IlpSolver {
+    fn certify(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        use_dense: bool,
+        run: impl FnOnce() -> Result<crate::solver::SolveResult, crate::solver::SolveError>,
+    ) -> Result<crate::solver::SolveResult, crate::solver::SolveError> {
+        use crate::solver::SolveError;
+        let res = run()?;
         let certified = if use_dense {
             check_schedule_against_ilp(inst, profile, &res.schedule)
                 .map_err(SolveError::Infeasible)?

@@ -57,5 +57,7 @@ pub use ilp::{check_schedule_against_ilp, IlpModel, IlpSolver};
 pub use milp::{solve_ilp_model, MilpConfig, MilpDenseSolver, MilpOutcome, MilpSolver};
 pub use reduction::three_partition_instance;
 pub use simplex::{solve_lp, LpCmp, LpDenseSolver, LpOutcome, LpProblem};
-pub use solver::{Budget, SolveError, SolveResult, SolveStats, SolveStatus, Solver, SolverKind};
+pub use solver::{
+    Budget, SolveError, SolveResult, SolveStats, SolveStatus, Solver, SolverKind, WarmStart,
+};
 pub use sparse_model::{sparse_from_lp_problem, LpSolver, SparseA4Model};

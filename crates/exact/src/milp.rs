@@ -32,8 +32,8 @@ use crate::cuts::root_cut_loop;
 use crate::ilp::{check_schedule_against_ilp, Cmp, Domain, IlpModel};
 use crate::simplex::{solve_lp, LpCmp, LpOutcome, LpProblem};
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
-    SolveStatus, Solver,
+    heuristic_incumbent, require_feasible, warm_incumbent, Budget, SolveError, SolveResult,
+    SolveStats, SolveStatus, Solver, WarmStart,
 };
 use crate::sparse_model::{ceil_bound, engine_cost, SparseA4Model};
 
@@ -332,6 +332,7 @@ impl Solver for MilpDenseSolver {
                     nodes,
                     lower_bound: None,
                     stats: SolveStats::default(),
+                    basis: None,
                 });
             }
             MilpOutcome::Infeasible => {
@@ -365,6 +366,7 @@ impl Solver for MilpDenseSolver {
             },
             nodes,
             stats: SolveStats::default(),
+            basis: None,
         })
     }
 }
@@ -522,6 +524,28 @@ impl Solver for MilpSolver {
         profile: &PowerProfile,
         budget: Budget,
     ) -> Result<SolveResult, SolveError> {
+        self.solve_inner(inst, profile, budget, &WarmStart::default())
+    }
+
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
+        self.solve_inner(inst, profile, budget, warm)
+    }
+}
+
+impl MilpSolver {
+    fn solve_inner(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
         require_feasible(inst, profile)?;
         // Guard before building: the estimate bounds the real column
         // count from above, so nothing oversized is ever allocated.
@@ -546,14 +570,22 @@ impl Solver for MilpSolver {
                 }
             }
         };
-        let (mut best_sched, mut best_cost) = heuristic_incumbent(inst, profile);
+        let (mut best_sched, mut best_cost) = warm_incumbent(inst, profile, warm);
         let mut nodes: u64 = 1;
         let mut stats = SolveStats::default();
 
         let mut simplex = SimplexSolver::new(&model.lp);
-        // Crash the incumbent into a primal-feasible basis: the root
-        // relaxation starts in phase 2 at the incumbent's objective.
-        simplex.set_basis(&model.crash_basis(inst, &best_sched));
+        // A warm basis from a previous solve of the same query restarts
+        // the root in a handful of (dual) pivots. `set_basis` rejects a
+        // dimension mismatch — the column layout depends on the
+        // profile's budgets, so a shifted trace can invalidate the
+        // token — in which case the incumbent is crashed into a
+        // primal-feasible basis instead: the root relaxation then
+        // starts in phase 2 at the incumbent's objective.
+        let warmed = warm.basis.as_ref().is_some_and(|b| simplex.set_basis(b));
+        if !warmed {
+            simplex.set_basis(&model.crash_basis(inst, &best_sched));
+        }
         let Some(opts) = opts_for(deadline) else {
             return Ok(SolveResult {
                 schedule: best_sched,
@@ -562,9 +594,14 @@ impl Solver for MilpSolver {
                 nodes,
                 lower_bound: None,
                 stats,
+                basis: None,
             });
         };
         let root = simplex.solve(&opts);
+        // Harvest the warm-start token before cut rows change the
+        // model's row count: a future solve builds a pristine model, so
+        // only the pre-cut basis has matching dimensions.
+        let root_basis = root.basis.clone();
         stats.lp_iterations += root.iterations;
         stats.dual_iterations += root.stats.dual_iters;
         stats.pricing = root.stats.pricing;
@@ -587,6 +624,7 @@ impl Solver for MilpSolver {
                     nodes,
                     lower_bound: root.dual_bound.map(ceil_bound),
                     stats,
+                    basis: Some(root_basis),
                 });
             }
             LpStatus::Optimal => {}
@@ -785,6 +823,7 @@ impl Solver for MilpSolver {
             nodes,
             lower_bound,
             stats,
+            basis: Some(root_basis),
         })
     }
 }

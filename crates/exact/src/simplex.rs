@@ -384,6 +384,7 @@ impl crate::solver::Solver for LpDenseSolver {
             nodes: 0,
             lower_bound: Some(lower_bound),
             stats: SolveStats::default(),
+            basis: None,
         })
     }
 }

@@ -166,6 +166,12 @@ pub struct SolveResult {
     pub lower_bound: Option<Cost>,
     /// Work counters explaining how the verdict was reached.
     pub stats: SolveStats,
+    /// Warm-start token for a future re-solve of the same query: the
+    /// root LP basis in the pristine model's full column space
+    /// (LP-based methods only; `None` where the method has no LP, or
+    /// where only a presolve-reduced basis exists). Captured *before*
+    /// root cuts so its dimensions match a freshly built model.
+    pub basis: Option<cawo_lp::Basis>,
 }
 
 /// Why a solver declined an instance.
@@ -189,6 +195,43 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Warm-start state carried from one solve to the next, harvested from
+/// a previous [`SolveResult`] (typically by the `cawo_cache` solve
+/// cache). Both fields are *hints*: a solver folds them in only when
+/// they are still valid for the new instance/profile, so a stale warm
+/// state can slow a solve down but never change its verdict.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// A feasible schedule from a previous solve of a related query.
+    /// Used as the incumbent when it beats the cold heuristic (and, in
+    /// the MILP, to crash a primal-feasible starting basis on the new
+    /// model). Schedules that miss the new deadline are repaired via
+    /// [`cawo_core::repair_for_deadline`] before being discarded.
+    pub incumbent: Option<Schedule>,
+    /// A root LP basis captured by a previous [`SolveResult::basis`].
+    /// Installed only when its dimensions match the new model — the
+    /// compact A.4 model's column layout depends on the profile's
+    /// budgets, so a shifted trace can change the column count, in
+    /// which case the basis is silently dropped in favour of a crash
+    /// basis from the incumbent.
+    pub basis: Option<cawo_lp::Basis>,
+}
+
+impl WarmStart {
+    /// A warm start seeding only the incumbent schedule.
+    pub fn from_schedule(sched: Schedule) -> Self {
+        WarmStart {
+            incumbent: Some(sched),
+            basis: None,
+        }
+    }
+
+    /// True when there is nothing to warm-start from.
+    pub fn is_empty(&self) -> bool {
+        self.incumbent.is_none() && self.basis.is_none()
+    }
+}
+
 /// A carbon-cost minimiser over the exact solution space.
 ///
 /// Implementations must return schedules that validate against the
@@ -205,6 +248,53 @@ pub trait Solver {
         profile: &PowerProfile,
         budget: Budget,
     ) -> Result<SolveResult, SolveError>;
+
+    /// Runs the method seeded with warm state from a previous solve.
+    ///
+    /// The default implementation ignores the hints and solves cold;
+    /// methods that can exploit an incumbent or a basis override it
+    /// (`milp`, `lp`, `bnb`, `ilp`). A warm start must reach the same
+    /// optimum as a cold solve — the warm-path property suite enforces
+    /// this across solvers.
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
+        let _ = warm;
+        self.solve(inst, profile, budget)
+    }
+}
+
+/// Folds a warm incumbent into the cold heuristic: returns the better
+/// of the two under `profile`, repairing the warm schedule first when
+/// the new deadline is tighter than the one it was computed for.
+pub(crate) fn warm_incumbent(
+    inst: &Instance,
+    profile: &PowerProfile,
+    warm: &WarmStart,
+) -> (Schedule, Cost) {
+    let (mut best, mut best_cost) = heuristic_incumbent(inst, profile);
+    if let Some(cand) = &warm.incumbent {
+        let deadline = profile.deadline();
+        let repaired;
+        let cand = if cand.validate(inst, deadline).is_ok() {
+            Some(cand)
+        } else {
+            repaired = cawo_core::repair_for_deadline(inst, cand, deadline);
+            repaired.as_ref()
+        };
+        if let Some(cand) = cand {
+            let cost = IntervalEngine::build(inst, cand, profile).total_cost();
+            if cost < best_cost {
+                best = cand.clone();
+                best_cost = cost;
+            }
+        }
+    }
+    (best, best_cost)
 }
 
 /// Selects a registered [`Solver`] at run time (CLI flag, experiment

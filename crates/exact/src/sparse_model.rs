@@ -37,8 +37,8 @@ use cawo_lp::{presolve, LpStatus, PresolveInfeasible, RowCmp, SimplexOptions, Sp
 use cawo_platform::{PowerProfile, Time};
 
 use crate::solver::{
-    heuristic_incumbent, require_feasible, Budget, SolveError, SolveResult, SolveStats,
-    SolveStatus, Solver,
+    require_feasible, warm_incumbent, Budget, SolveError, SolveResult, SolveStats, SolveStatus,
+    Solver, WarmStart,
 };
 
 /// The compact sparse A.4 model plus its column layout.
@@ -424,6 +424,28 @@ impl Solver for LpSolver {
         profile: &PowerProfile,
         budget: Budget,
     ) -> Result<SolveResult, SolveError> {
+        self.solve_inner(inst, profile, budget, &WarmStart::default())
+    }
+
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
+        self.solve_inner(inst, profile, budget, warm)
+    }
+}
+
+impl LpSolver {
+    fn solve_inner(
+        &self,
+        inst: &Instance,
+        profile: &PowerProfile,
+        budget: Budget,
+        warm: &WarmStart,
+    ) -> Result<SolveResult, SolveError> {
         require_feasible(inst, profile)?;
         // Guard before building: the estimate bounds the real column
         // count from above, so nothing oversized is ever allocated.
@@ -435,7 +457,12 @@ impl Solver for LpSolver {
             )));
         }
         let model = SparseA4Model::build(inst, profile);
-        let (schedule, cost) = heuristic_incumbent(inst, profile);
+        // A warm incumbent (when still valid and better than the cold
+        // heuristic) both improves the returned schedule and crashes a
+        // better starting basis below. The raw warm *basis* is not
+        // reusable here: this path presolves, so its simplex runs in
+        // reduced column space while the token lives in full space.
+        let (schedule, cost) = warm_incumbent(inst, profile, warm);
         let reduced = match presolve(&model.lp) {
             Ok(r) => r,
             Err(PresolveInfeasible { reason }) => {
@@ -481,6 +508,7 @@ impl Solver for LpSolver {
                     nodes: sol.iterations,
                     lower_bound: Some(lower_bound),
                     stats,
+                    basis: None,
                 })
             }
             // A budget-capped run still carries the Lagrangian dual
@@ -495,6 +523,7 @@ impl Solver for LpSolver {
                     .dual_bound
                     .map(|b| ceil_bound(b + reduced.objective_offset())),
                 stats,
+                basis: None,
             }),
             LpStatus::Infeasible => Err(SolveError::Infeasible(
                 "sparse relaxation infeasible — model/instance mismatch".into(),

@@ -71,6 +71,47 @@ pub struct Basis {
     pub statuses: Vec<VStat>,
 }
 
+impl Basis {
+    /// Serialises the basis to a compact byte string (one byte per
+    /// column, prefixed by a little-endian `u64` length) so warm-start
+    /// tokens can be stored outside the solver — e.g. in the
+    /// `cawo_cache` solve cache — without tying the storage layer to
+    /// this crate's types.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.statuses.len());
+        out.extend_from_slice(&(self.statuses.len() as u64).to_le_bytes());
+        out.extend(self.statuses.iter().map(|s| match s {
+            VStat::Basic => 0u8,
+            VStat::AtLower => 1,
+            VStat::AtUpper => 2,
+            VStat::Free => 3,
+        }));
+        out
+    }
+
+    /// Inverse of [`Basis::to_bytes`]. Returns `None` on any framing or
+    /// tag error — a corrupt token degrades to a cold start, never a
+    /// bogus basis.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Basis> {
+        let len = u64::try_from(bytes.len()).ok()?.checked_sub(8)?;
+        let (head, body) = bytes.split_at(8);
+        if u64::from_le_bytes(head.try_into().ok()?) != len {
+            return None;
+        }
+        let statuses = body
+            .iter()
+            .map(|&b| match b {
+                0 => Some(VStat::Basic),
+                1 => Some(VStat::AtLower),
+                2 => Some(VStat::AtUpper),
+                3 => Some(VStat::Free),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Basis { statuses })
+    }
+}
+
 /// Solver verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpStatus {
@@ -1705,6 +1746,38 @@ mod tests {
     fn optimal(sol: &LpSolution) -> (f64, &[f64]) {
         assert_eq!(sol.status, LpStatus::Optimal, "{sol:?}");
         (sol.objective, &sol.x)
+    }
+
+    #[test]
+    fn basis_bytes_roundtrip() {
+        let basis = Basis {
+            statuses: vec![
+                VStat::Basic,
+                VStat::AtLower,
+                VStat::AtUpper,
+                VStat::Free,
+                VStat::Basic,
+            ],
+        };
+        let bytes = basis.to_bytes();
+        assert_eq!(bytes.len(), 8 + 5);
+        assert_eq!(Basis::from_bytes(&bytes), Some(basis.clone()));
+        // An empty basis roundtrips too.
+        let empty = Basis { statuses: vec![] };
+        assert_eq!(Basis::from_bytes(&empty.to_bytes()), Some(empty));
+        // Corruption degrades to None, never a bogus basis.
+        assert_eq!(Basis::from_bytes(&[]), None);
+        assert_eq!(Basis::from_bytes(&bytes[..bytes.len() - 1]), None);
+        let mut bad_tag = bytes.clone();
+        *bad_tag.last_mut().unwrap() = 9;
+        assert_eq!(Basis::from_bytes(&bad_tag), None);
+        // A solved model's basis survives the trip.
+        let mut lp = SparseLp::new();
+        lp.add_col(-1.0, 0.0, 2.0);
+        lp.add_col(-1.0, 0.0, INF);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], RowCmp::Le, 4.0);
+        let sol = solve(&lp, &SimplexOptions::default());
+        assert_eq!(Basis::from_bytes(&sol.basis.to_bytes()), Some(sol.basis));
     }
 
     #[test]

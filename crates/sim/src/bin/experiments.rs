@@ -6,7 +6,7 @@
 //! experiments [--scale quick|medium|full] [--seed N]
 //!             [--engine dense|interval|fenwick]
 //!             [--solver NAME[,NAME...]] [--solver-budget SPEC]
-//!             [--trace CSV] [--serial-timing] [--threads N]
+//!             [--trace CSV] [--cache] [--serial-timing] [--threads N]
 //! ```
 //!
 //! Heuristic rows carry `kind = variant` and an empty status; exact
@@ -20,7 +20,16 @@
 //! sequential, `0` = all cores — the default); every row records the
 //! effective worker count in the trailing `threads` column, and
 //! results are bit-identical at every setting (docs/CONCURRENCY.md).
+//! `--cache` shares one warm-path solve cache across all solver rows:
+//! repeated (workflow, solver) queries across the grid's profiles
+//! re-solve from cached warm state, and each solver row reports the
+//! outcome in the `cache_hit`/`cache_warm` columns. Costs are
+//! unaffected (a warm start reaches the same optimum); node counts
+//! and timings shrink.
 
+use std::sync::Arc;
+
+use cawo_cache::{CacheOutcome, SolveCache};
 use cawo_core::EngineKind;
 use cawo_exact::{Budget, SolverKind};
 use cawo_platform::TraceSource;
@@ -79,6 +88,7 @@ fn main() {
                     source: TraceSource::CsvFile(path.into()),
                 });
             }
+            "--cache" => cfg.cache = Some(Arc::new(SolveCache::new())),
             "--serial-timing" => cfg.serial_timing = true,
             "--threads" => {
                 cfg.threads = next(&args, &mut i)
@@ -91,7 +101,7 @@ fn main() {
     }
 
     eprintln!(
-        "running grid (scale {:?}, seed {}, engine {}, {} solver(s){}{}) ...",
+        "running grid (scale {:?}, seed {}, engine {}, {} solver(s){}{}{}) ...",
         cfg.scale,
         cfg.seed,
         cfg.engine,
@@ -101,6 +111,7 @@ fn main() {
         } else {
             ""
         },
+        if cfg.cache.is_some() { ", cache" } else { "" },
         if cfg.serial_timing {
             ", serial timing"
         } else {
@@ -117,11 +128,18 @@ fn main() {
     let results = run_grid(&cfg);
     let skipped = cfg.grid().len() - results.len();
     eprintln!("{} instances done on {threads} thread(s)", results.len());
+    if let Some(cache) = &cfg.cache {
+        let s = cache.stats();
+        eprintln!(
+            "cache: {} hit / {} warm / {} cold / {} rejected",
+            s.hits, s.warm, s.cold, s.rejected
+        );
+    }
 
     println!(
         "instance,family,size,size_class,cluster,scenario,deadline,\
          n_tasks,gc_nodes,asap_makespan,kind,algorithm,cost,millis,status,nodes,lower_bound,\
-         lp_iters,cuts,pricing,threads"
+         lp_iters,cuts,pricing,cache_hit,cache_warm,threads"
     );
     for r in &results {
         let prefix = format!(
@@ -141,7 +159,7 @@ fn main() {
         );
         for (i, &v) in r.variants.iter().enumerate() {
             println!(
-                "{prefix},variant,{},{},{:.4},,,,,,,{threads}",
+                "{prefix},variant,{},{},{:.4},,,,,,,,,{threads}",
                 v.name(),
                 r.cost[i],
                 r.millis[i],
@@ -149,7 +167,7 @@ fn main() {
         }
         for row in &r.solver_rows {
             println!(
-                "{prefix},solver,{},{},{:.4},{},{},{},{},{},{},{threads}",
+                "{prefix},solver,{},{},{:.4},{},{},{},{},{},{},{},{},{threads}",
                 row.kind.name(),
                 row.cost.map_or_else(String::new, |c| c.to_string()),
                 row.millis,
@@ -159,6 +177,8 @@ fn main() {
                 row.lp_iters,
                 row.cuts,
                 row.pricing,
+                (row.cache == CacheOutcome::Hit) as u8,
+                (row.cache == CacheOutcome::Warm) as u8,
             );
         }
     }

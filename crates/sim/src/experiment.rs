@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
+use cawo_cache::{CacheOutcome, SolveCache};
 use cawo_core::{carbon_cost, Cost, EngineKind, Instance, RunParams, Variant};
 use cawo_exact::{Budget, SolveError, SolveStatus, SolverKind};
 use cawo_graph::generator::{self, Family, PaperInstance};
@@ -185,6 +186,15 @@ pub struct ExperimentConfig {
     /// wall-clock and the contention caveat on
     /// [`ExperimentConfig::serial_timing`] change.
     pub threads: usize,
+    /// Warm-path solve cache shared across all solver rows of the grid
+    /// (`None` = every row solves cold, the default). With a cache,
+    /// repeated (workflow, query) pairs across the 16 profiles of one
+    /// (workflow, cluster) pair re-solve from warm state; each
+    /// [`SolverRow::cache`] records whether its row hit, warmed or
+    /// solved cold. Costs of exact solvers are unaffected — a warm
+    /// start reaches the same optimum — but node counts and timings
+    /// shrink.
+    pub cache: Option<Arc<SolveCache>>,
 }
 
 impl ExperimentConfig {
@@ -201,6 +211,7 @@ impl ExperimentConfig {
             trace: None,
             serial_timing: false,
             threads: 0,
+            cache: None,
         }
     }
 
@@ -324,6 +335,10 @@ pub struct SolverRow {
     pub cuts: u32,
     /// Pricing rule of the LP engine (`"-"` for non-LP solvers).
     pub pricing: &'static str,
+    /// Where the answer came from when the grid ran with a solve cache
+    /// ([`ExperimentConfig::cache`]); always [`CacheOutcome::Cold`]
+    /// without one.
+    pub cache: CacheOutcome,
 }
 
 /// Costs and timings of every variant on one instance.
@@ -412,7 +427,25 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
     }
 }
 
+/// Parses the configured trace source once up front, so
+/// [`build_profile`] resamples pre-parsed points per row instead of
+/// re-reading and re-parsing the CSV for every one of the grid's trace
+/// rows. A source that fails to load is left untouched so the per-row
+/// error reporting in [`run_one`] still fires with the real error.
+fn preload_trace(cfg: &ExperimentConfig) -> ExperimentConfig {
+    let mut cfg = cfg.clone();
+    if let Some(trace) = cfg.trace.as_mut() {
+        if !matches!(trace.source, TraceSource::Points(_)) {
+            if let Ok(points) = trace.source.load() {
+                trace.source = TraceSource::Points(points);
+            }
+        }
+    }
+    cfg
+}
+
 fn run_grid_inner(cfg: &ExperimentConfig) -> Vec<SpecResult> {
+    let cfg = &preload_trace(cfg);
     let specs = cfg.grid();
     // Prepare unique (workflow, cluster) instances in parallel.
     let mut keys: Vec<(Family, Option<usize>, ClusterKind)> = specs
@@ -519,12 +552,20 @@ pub fn run_one(
         cfg.variants.par_iter().map(run_variant).unzip()
     };
     let run_solver = |&kind: &SolverKind| {
-        let solver = kind.build_with_engine(cfg.engine);
         let t0 = Instant::now();
-        let outcome = solver.solve(inst, &profile, cfg.solver_budget);
+        // Route through the shared solve cache when one is configured:
+        // an identical earlier row is a lookup, a same-workflow row
+        // with a different profile re-solves from its warm state.
+        let outcome = match &cfg.cache {
+            Some(cache) => cache.solve(kind, cfg.engine, inst, &profile, cfg.solver_budget),
+            None => kind
+                .build_with_engine(cfg.engine)
+                .solve(inst, &profile, cfg.solver_budget)
+                .map(|res| (res, CacheOutcome::Cold)),
+        };
         let millis = t0.elapsed().as_secs_f64() * 1e3;
         match outcome {
-            Ok(res) => {
+            Ok((res, cache)) => {
                 debug_assert!(res.schedule.validate(inst, profile.deadline()).is_ok());
                 debug_assert_eq!(res.cost, carbon_cost(inst, &res.schedule, &profile));
                 SolverRow {
@@ -537,6 +578,7 @@ pub fn run_one(
                     lp_iters: res.stats.lp_iterations,
                     cuts: res.stats.cuts,
                     pricing: res.stats.pricing,
+                    cache,
                 }
             }
             Err(e) => SolverRow {
@@ -552,6 +594,7 @@ pub fn run_one(
                 lp_iters: 0,
                 cuts: 0,
                 pricing: "-",
+                cache: CacheOutcome::Cold,
             },
         }
     };

@@ -11,8 +11,14 @@
 //! * `schedule` runs one variant and prints the start times (or a Gantt
 //!   chart with `--gantt`),
 //! * `evaluate` runs all 17 variants and prints a cost table.
+//!
+//! `schedule --cache --repeat N` exercises the warm-path serving layer:
+//! the query runs N times against one [`SolveCache`], printing per-
+//! iteration wall-clock and cache outcome (`cold`/`hit`) — the shape of
+//! a `cawod` daemon serving repeated queries.
 
 use std::io::Read;
+use std::time::Instant;
 
 use cawosched::graph::dot;
 use cawosched::graph::wfjson::{from_wfcommons_json, WfJsonOptions};
@@ -55,7 +61,7 @@ const USAGE: &str = "usage:
                      [--solver-budget SPEC] [--scenario S1..S4] [--trace CSV]
                      [--deadline 1|1.5|2|3] [--cluster tiny|small|large]
                      [--engine dense|interval|fenwick] [--seed N]
-                     [--threads N] [--gantt]
+                     [--threads N] [--cache] [--repeat N] [--gantt]
   cawosched evaluate [--dot FILE|-] [--json FILE] [--scenario S1..S4]
                      [--solver NAME[,NAME...]] [--solver-budget SPEC]
                      [--trace CSV] [--deadline ...] [--cluster ...]
@@ -69,7 +75,10 @@ const USAGE: &str = "usage:
   --solver-budget caps it with a node count, `250ms`/`2s` wall-clock,
   or both (`500000,250ms`). --threads runs solvers and heuristics on a
   dedicated pool of N workers (1 = sequential, 0 = all cores — the
-  default); results are identical at any thread count.";
+  default); results are identical at any thread count. --repeat N runs
+  the schedule query N times; with --cache, repeats after the first are
+  served from the warm-path solve cache and each iteration reports its
+  wall-clock and cache outcome.";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -93,6 +102,8 @@ struct Options {
     engine: EngineKind,
     gantt: bool,
     threads: usize,
+    cache: bool,
+    repeat: usize,
 }
 
 impl Options {
@@ -114,6 +125,8 @@ impl Options {
             engine: EngineKind::default(),
             gantt: false,
             threads: 0,
+            cache: false,
+            repeat: 1,
         };
         let mut i = 0;
         let next = |i: &mut usize| -> Result<String, String> {
@@ -176,6 +189,13 @@ impl Options {
                     o.engine = EngineKind::parse(&v).ok_or(format!("unknown engine {v}"))?;
                 }
                 "--gantt" => o.gantt = true,
+                "--cache" => o.cache = true,
+                "--repeat" => {
+                    o.repeat = next(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                    if o.repeat == 0 {
+                        return Err("--repeat wants at least 1".to_string());
+                    }
+                }
                 "--threads" => o.threads = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
                 a => return Err(format!("unknown argument {a}")),
             }
@@ -272,29 +292,55 @@ fn schedule_cmd(o: &Options) {
     if o.solvers.len() > 1 {
         die("schedule runs one solver; pass a single --solver name (evaluate accepts a list)");
     }
-    let (label, sched, cost) = match o.solvers.first() {
-        Some(&kind) => {
-            let solver = kind.build_with_engine(o.engine);
-            match solver.solve(&inst, &profile, o.solver_budget) {
-                Ok(res) => {
-                    eprintln!(
-                        "{kind}: status {}, {} nodes{}",
-                        res.status,
-                        res.nodes,
-                        res.lower_bound
-                            .map_or(String::new(), |lb| format!(", lower bound {lb}")),
-                    );
-                    (kind.name(), res.schedule, res.cost)
+    // Repeated-query serving loop: with --cache, iterations after the
+    // first are exact-key hits served from the cache; without it every
+    // iteration computes cold (the comparison baseline).
+    let cache = SolveCache::new();
+    let mut answer = None;
+    for it in 1..=o.repeat {
+        let t0 = Instant::now();
+        let (label, sched, cost, outcome) = match o.solvers.first() {
+            Some(&kind) => {
+                let solved = if o.cache {
+                    cache.solve(kind, o.engine, &inst, &profile, o.solver_budget)
+                } else {
+                    kind.build_with_engine(o.engine)
+                        .solve(&inst, &profile, o.solver_budget)
+                        .map(|res| (res, CacheOutcome::Cold))
+                };
+                match solved {
+                    Ok((res, outcome)) => {
+                        if it == 1 {
+                            eprintln!(
+                                "{kind}: status {}, {} nodes{}",
+                                res.status,
+                                res.nodes,
+                                res.lower_bound
+                                    .map_or(String::new(), |lb| format!(", lower bound {lb}")),
+                            );
+                        }
+                        (kind.name(), res.schedule, res.cost, outcome)
+                    }
+                    Err(e) => die(&format!("solver {kind}: {e}")),
                 }
-                Err(e) => die(&format!("solver {kind}: {e}")),
             }
+            None if o.cache => {
+                let (ans, outcome) = cache.evaluate(o.variant, o.engine, &inst, &profile);
+                (o.variant.name(), (*ans.schedule).clone(), ans.cost, outcome)
+            }
+            None => {
+                let sched = o.variant.run_with(&inst, &profile, run_params(o));
+                let cost = carbon_cost(&inst, &sched, &profile);
+                (o.variant.name(), sched, cost, CacheOutcome::Cold)
+            }
+        };
+        if o.repeat > 1 {
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            eprintln!("iter {it}: cost {cost}, {ms:.4} ms ({outcome})");
         }
-        None => {
-            let sched = o.variant.run_with(&inst, &profile, run_params(o));
-            let cost = carbon_cost(&inst, &sched, &profile);
-            (o.variant.name(), sched, cost)
-        }
-    };
+        answer = Some((label, sched, cost));
+    }
+    let (label, sched, cost) = answer.expect("--repeat wants at least 1");
     sched
         .validate(&inst, profile.deadline())
         .unwrap_or_else(|e| die(&format!("internal error — invalid schedule: {e}")));
