@@ -284,7 +284,9 @@ fn main() {
 
     let mut json = format!(
         "{{\n  \"bench\": \"exact_solvers\",\n  \"bnb_tasks\": {BNB_TASKS},\n  \
-         \"bnb_nodes\": {BNB_NODES},\n  \"chain_tasks\": {CHAIN_TASKS},\n"
+         \"bnb_nodes\": {BNB_NODES},\n  \"chain_tasks\": {CHAIN_TASKS},\n  \
+         \"host\": {},\n",
+        cawo_obs::host_meta_json()
     );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

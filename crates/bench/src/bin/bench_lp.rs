@@ -364,7 +364,10 @@ fn main() {
         };
         of("dense") / of("sparse").max(1e-12)
     };
-    let mut json = String::from("{\n  \"bench\": \"lp_engines\",\n  \"results\": [\n");
+    let mut json = format!(
+        "{{\n  \"bench\": \"lp_engines\",\n  \"host\": {},\n  \"results\": [\n",
+        cawo_obs::host_meta_json()
+    );
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"section\": \"{}\", \"tasks\": {}, \"engine\": \"{}\", \"cols\": {}, \

@@ -1,0 +1,263 @@
+//! `bench_obs` — measures what observability costs and shows what it
+//! buys. Writes `BENCH_obs.json` (committed at the repo root).
+//!
+//! Two sections:
+//!
+//! * **overhead** — fixed-work probes run with observability Off
+//!   versus Summary in interleaved pairs, min per level. `lp` caps the raw
+//!   simplex on the 100-task chain model at an exact pivot count
+//!   (identical work at either level, by construction); `heuristics`
+//!   runs every CaWoSched variant on the 200-task paper instance
+//!   repeatedly — the `place_delta` pricing path, where every call
+//!   carries a counter bump, i.e. the worst instrumented case. The
+//!   `lp` ratio must stay under `MAX_RATIO` (1.05×) — the guard CI
+//!   enforces by running this bin (it exits nonzero past the cap).
+//! * **convergence** — the 100- and 200-task chain models through the
+//!   `milp` solver at Trace level under a wall-clock budget; the
+//!   drained event timeline yields the dual-bound-vs-time and
+//!   incumbent-vs-time series that a single final number cannot show
+//!   (how fast the gap closes under a budget).
+
+use std::time::Instant;
+
+use cawo_bench::fixtures::lp_chain_fixture;
+use cawo_core::{carbon_cost, EngineKind, Instance, RunParams, Variant};
+use cawo_exact::{Budget, SolverKind, SparseA4Model};
+use cawo_graph::generator::{instantiate, Family, PaperInstance};
+use cawo_heft::heft_schedule;
+use cawo_lp::SimplexOptions;
+use cawo_obs::{Ctr, Level};
+use cawo_platform::{Cluster, DeadlineFactor, PowerProfile, ProfileConfig, Scenario, Time};
+
+/// Enabled(Summary)-over-disabled wall-clock cap on the `lp` probe.
+const MAX_RATIO: f64 = 1.05;
+/// Exact pivot budget of the `lp` overhead probe.
+const LP_PIVOTS: u64 = 10_000;
+/// Heuristic sweeps of the `heuristics` overhead probe.
+const HEUR_REPS: u32 = 10;
+
+/// The paper-grid instance at `tasks` tasks: atacseq scaled, small
+/// cluster, S1 × 1.5 deadline, seed 42 — the bench_lp headline fixture.
+fn paper_instance(tasks: usize) -> (Instance, PowerProfile) {
+    let wf = instantiate(
+        &PaperInstance {
+            family: Family::Atacseq,
+            scaled_to: Some(tasks),
+        },
+        42,
+    );
+    let cluster = Cluster::paper_small(42);
+    let mapping = heft_schedule(&wf, &cluster);
+    let inst = Instance::build(&wf, &cluster, &mapping);
+    let profile = ProfileConfig::new(Scenario::SolarMorning, DeadlineFactor::X15, 42)
+        .build(&cluster, inst.asap_makespan());
+    (inst, profile)
+}
+
+/// Interleaved Off/Summary pairs of `overhead` probes.
+const PAIRS: u32 = 4;
+
+/// Runs `probe` in `PAIRS` interleaved Off/Summary pairs (after one
+/// untimed warm-up) and returns `(off_secs, summary_secs, ratio)` of
+/// the per-level minima. Interleaving matters on a shared CI host:
+/// timing all Off runs first would charge any load drift entirely to
+/// one side. The probe returns a checksum asserted identical across
+/// every run and level — observability must never steer the
+/// computation.
+fn overhead(mut probe: impl FnMut() -> u64) -> (f64, f64, f64) {
+    cawo_obs::set_level(Level::Off);
+    let expect = probe(); // warm-up: page in code and data, untimed
+    let mut timed = |level: Level, best: &mut f64| {
+        cawo_obs::set_level(level);
+        let t0 = Instant::now();
+        let c = probe();
+        *best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(c, expect, "observability must not change results");
+    };
+    let (mut off, mut summary) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..PAIRS {
+        timed(Level::Off, &mut off);
+        timed(Level::Summary, &mut summary);
+    }
+    cawo_obs::set_level(Level::Off);
+    cawo_obs::drain(); // reset sinks between sections
+    (off, summary, summary / off.max(1e-12))
+}
+
+/// A `[[t_ms, value], ...]` series from the drained timeline, times
+/// relative to `t0_us`.
+fn series(snap: &cawo_obs::Snapshot, cat: &str, name: &str, t0_us: u64) -> Vec<(f64, f64)> {
+    snap.events
+        .iter()
+        .filter(|e| e.ph == cawo_obs::Phase::Sample && e.cat == cat && e.name == name)
+        .filter_map(|e| {
+            let v = e.args.iter().find(|(k, _)| *k == "value")?.1;
+            Some(((e.t_us.saturating_sub(t0_us)) as f64 / 1e3, v))
+        })
+        .collect()
+}
+
+/// A finite JSON number (`null` otherwise — mirrors the exporter).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn series_json(points: &[(f64, f64)]) -> String {
+    let body: Vec<String> = points
+        .iter()
+        .map(|(t, v)| format!("[{t:.3}, {v}]"))
+        .collect();
+    format!("[{}]", body.join(", "))
+}
+
+fn main() {
+    // --- Overhead probe 1: the raw simplex on the 100-task chain
+    // model, capped at an exact pivot count — identical work at either
+    // level by construction (the cap is on iterations, not time).
+    let (inst, profile) = lp_chain_fixture(100, 200, 6, &[0, 4]);
+    let model = SparseA4Model::build(&inst, &profile);
+    let opts = SimplexOptions {
+        max_iters: LP_PIVOTS,
+        ..SimplexOptions::default()
+    };
+    let (off_lp, sum_lp, lp_ratio) = overhead(|| {
+        let sol = cawo_lp::solve(&model.lp, &opts);
+        sol.iterations
+    });
+    eprintln!("overhead lp-100 ({LP_PIVOTS} pivots): off {off_lp:.3}s, summary {sum_lp:.3}s, ratio {lp_ratio:.4}");
+
+    // --- Overhead probe 2: every CaWoSched variant on the 200-task
+    // paper instance, repeated — the `place_delta` counter path.
+    let (inst, profile) = paper_instance(200);
+    let params = RunParams {
+        engine: EngineKind::Interval,
+        ..RunParams::default()
+    };
+    let (off_h, sum_h, h_ratio) = overhead(|| {
+        let mut acc = 0u64;
+        for _ in 0..HEUR_REPS {
+            for v in Variant::CAWOSCHED {
+                let sched = v.run_with(&inst, &profile, params);
+                acc = acc.wrapping_add(carbon_cost(&inst, &sched, &profile));
+            }
+        }
+        acc
+    });
+    eprintln!(
+        "overhead heuristics-200 ({HEUR_REPS} sweeps): off {off_h:.3}s, summary {sum_h:.3}s, \
+         ratio {h_ratio:.4}"
+    );
+
+    // --- Convergence, raw LP: the chain relaxations solved cold under
+    // a wall-clock cap at Trace level. The simplex samples its best
+    // Lagrangian bound every 512 pivots, so the series shows the
+    // certificate tightening pivot block by pivot block.
+    let mut conv = Vec::new();
+    for tasks in [100usize, 200] {
+        let (inst, profile) = lp_chain_fixture(tasks, 2 * tasks as Time, 6, &[0, 4]);
+        let model = SparseA4Model::build(&inst, &profile);
+        let opts = SimplexOptions {
+            time_limit: Some(std::time::Duration::from_secs(10)),
+            ..SimplexOptions::default()
+        };
+        cawo_obs::set_level(Level::Trace);
+        let t0_us = cawo_obs::now_us();
+        let t0 = Instant::now();
+        let sol = cawo_lp::solve(&model.lp, &opts);
+        let secs = t0.elapsed().as_secs_f64();
+        cawo_obs::set_level(Level::Off);
+        let snap = cawo_obs::drain();
+        let bounds = series(&snap, "lp", "dual_bound", t0_us);
+        eprintln!(
+            "convergence lp-{tasks}: {:?} in {secs:.1}s, obj {:.1}, dual {:?}, \
+             {} bound sample(s), {} pivots",
+            sol.status,
+            sol.objective,
+            sol.dual_bound,
+            bounds.len(),
+            sol.iterations,
+        );
+        conv.push(format!(
+            "    {{\"tasks\": {tasks}, \"solver\": \"lp\", \"budget\": \"10s\", \
+             \"status\": \"{:?}\", \"seconds\": {secs:.3}, \"cost\": {}, \"lower_bound\": {}, \
+             \"dual_bound_series_ms\": {}, \"incumbent_series_ms\": []}}",
+            sol.status,
+            num(sol.objective),
+            sol.dual_bound.map_or("null".to_string(), num),
+            series_json(&bounds),
+        ));
+    }
+
+    // --- Convergence, MILP: the same chain models through the full
+    // solver. The dual bound is sampled per root cut round (the bound
+    // only moves at the root in this solver) and incumbents on
+    // improvement, so the series shows how fast the gap closes under
+    // the budget.
+    for (tasks, budget_str) in [(100usize, "5s"), (200usize, "15s")] {
+        let (inst, profile) = lp_chain_fixture(tasks, 2 * tasks as Time, 6, &[0, 4]);
+        let budget = Budget::parse(budget_str).expect("static budget");
+        cawo_obs::set_level(Level::Trace);
+        let t0_us = cawo_obs::now_us();
+        let t0 = Instant::now();
+        let res = SolverKind::Milp
+            .build_with_engine(EngineKind::Interval)
+            .solve(&inst, &profile, budget)
+            .expect("chain instance solves");
+        let secs = t0.elapsed().as_secs_f64();
+        cawo_obs::set_level(Level::Off);
+        let snap = cawo_obs::drain();
+        let bounds = series(&snap, "milp", "dual_bound", t0_us);
+        let incumbents = series(&snap, "milp", "incumbent", t0_us);
+        eprintln!(
+            "convergence milp-{tasks}: {} in {secs:.1}s, cost {}, lb {:?}, \
+             {} bound sample(s), {} incumbent(s), {} lp pivots",
+            res.status,
+            res.cost,
+            res.lower_bound,
+            bounds.len(),
+            incumbents.len(),
+            snap.counter(Ctr::LpPivotsPhase1) + snap.counter(Ctr::LpPivotsPhase2),
+        );
+        conv.push(format!(
+            "    {{\"tasks\": {tasks}, \"solver\": \"milp\", \"budget\": \"{budget_str}\", \
+             \"status\": \"{}\", \"seconds\": {secs:.3}, \"cost\": {}, \"lower_bound\": {}, \
+             \"dual_bound_series_ms\": {}, \"incumbent_series_ms\": {}}}",
+            res.status.name(),
+            res.cost,
+            res.lower_bound
+                .map_or("null".to_string(), |b| b.to_string()),
+            series_json(&bounds),
+            series_json(&incumbents),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"host\": {},\n  \"max_ratio\": {MAX_RATIO},\n  \
+         \"overhead\": [\n    {{\"section\": \"lp\", \"tasks\": 100, \"pivots\": {LP_PIVOTS}, \
+         \"off_seconds\": {off_lp:.4}, \"summary_seconds\": {sum_lp:.4}, \"ratio\": \
+         {lp_ratio:.4}}},\n    {{\"section\": \"heuristics\", \"tasks\": 200, \"sweeps\": \
+         {HEUR_REPS}, \"off_seconds\": {off_h:.4}, \"summary_seconds\": {sum_h:.4}, \
+         \"ratio\": {h_ratio:.4}}}\n  ],\n  \"convergence\": [\n{}\n  ],\n  \"note\": \
+         \"overhead = fixed-work probes, {PAIRS} interleaved Off/Summary pairs, min per \
+         level; lp = raw simplex on the 100-task chain model capped at an exact pivot \
+         count, heuristics = all CaWoSched variants on the 200-task atacseq paper instance \
+         (the place_delta counter path); acceptance: lp ratio < max_ratio (this bin exits \
+         nonzero otherwise). convergence = the 100/200-task chain models at Trace level, \
+         raw lp (Lagrangian bound sampled every 512 pivots) and milp (dual bound sampled \
+         per root cut round, incumbents on improvement); series are \
+         [t_ms_since_solve_start, value] pairs from the drained event timeline.\"\n}}\n",
+        cawo_obs::host_meta_json(),
+        conv.join(",\n"),
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    eprintln!("wrote BENCH_obs.json");
+
+    assert!(
+        lp_ratio < MAX_RATIO,
+        "observability overhead {lp_ratio:.4} exceeds the {MAX_RATIO} cap"
+    );
+}

@@ -50,8 +50,10 @@ struct Row {
 }
 
 fn emit(rows: &[Row], hit_speedup: f64, warm_eval_speedup: f64, intern_speedup: f64) -> String {
-    let mut out =
-        String::from("{\n  \"bench\": \"warm_path\",\n  \"tasks\": 100,\n  \"results\": [\n");
+    let mut out = format!(
+        "{{\n  \"bench\": \"warm_path\",\n  \"tasks\": 100,\n  \"host\": {},\n  \"results\": [\n",
+        cawo_obs::host_meta_json()
+    );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"section\": \"{}\", \"phase\": \"{}\", \"seconds\": {:.4e}, \"cost\": {}, \"outcome\": \"{}\"}}{}\n",

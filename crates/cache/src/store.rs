@@ -192,6 +192,11 @@ impl SolveCache {
         let entry = map.get(&key.key)?;
         if verify_of(entry) != key.verify {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            cawo_obs::inc(cawo_obs::Ctr::CacheRejected);
+            cawo_obs::warn(
+                "solve cache verify-signature mismatch — entry treated as a \
+                 collision and ignored (results stay correct; hit rate drops)",
+            );
             return None;
         }
         Some(entry.clone())
@@ -220,6 +225,7 @@ impl SolveCache {
         let full = query_key(inst, Some(profile), &query);
         if let Some(entry) = self.verified(&self.solves, full, |e: &SolveEntry| e.verify) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cawo_obs::inc(cawo_obs::Ctr::CacheHit);
             return Ok((entry.result, CacheOutcome::Hit));
         }
 
@@ -237,11 +243,13 @@ impl SolveCache {
             Some(warm) if !warm.is_empty() => {
                 let res = solver.solve_warm(inst, profile, budget, &warm)?;
                 self.warm.fetch_add(1, Ordering::Relaxed);
+                cawo_obs::inc(cawo_obs::Ctr::CacheWarm);
                 (res, CacheOutcome::Warm)
             }
             _ => {
                 let res = solver.solve(inst, profile, budget)?;
                 self.cold.fetch_add(1, Ordering::Relaxed);
+                cawo_obs::inc(cawo_obs::Ctr::CacheCold);
                 (res, CacheOutcome::Cold)
             }
         };
@@ -287,6 +295,7 @@ impl SolveCache {
         let full = query_key(inst, Some(profile), &query);
         if let Some(entry) = self.verified(&self.evals, full, |e: &EvalEntry| e.verify) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cawo_obs::inc(cawo_obs::Ctr::CacheHit);
             return (
                 EvalAnswer {
                     schedule: entry.schedule,
@@ -302,6 +311,7 @@ impl SolveCache {
                 reanswer_cost(inst, &seed.schedule, &seed.profile, seed.cost, profile)
             {
                 self.warm.fetch_add(1, Ordering::Relaxed);
+                cawo_obs::inc(cawo_obs::Ctr::CacheWarm);
                 return (
                     EvalAnswer {
                         schedule: Arc::clone(&seed.schedule),
@@ -319,6 +329,7 @@ impl SolveCache {
         let schedule = Arc::new(variant.run_with(inst, profile, params));
         let cost = carbon_cost(inst, &schedule, profile);
         self.cold.fetch_add(1, Ordering::Relaxed);
+        cawo_obs::inc(cawo_obs::Ctr::CacheCold);
         let entry = EvalEntry {
             verify: full.verify,
             schedule: Arc::clone(&schedule),

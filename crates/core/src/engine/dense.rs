@@ -86,6 +86,7 @@ impl CostEngine for DenseGrid {
     }
 
     fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {
+        cawo_obs::inc(cawo_obs::Ctr::EnginePriceDense);
         if len == 0 || delta == 0 {
             return 0;
         }

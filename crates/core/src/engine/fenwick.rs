@@ -293,6 +293,7 @@ impl CostEngine for FenwickEngine {
     }
 
     fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {
+        cawo_obs::inc(cawo_obs::Ctr::EnginePriceFenwick);
         if len == 0 || delta == 0 {
             return 0;
         }

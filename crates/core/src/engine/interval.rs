@@ -199,6 +199,7 @@ impl CostEngine for IntervalEngine {
     }
 
     fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {
+        cawo_obs::inc(cawo_obs::Ctr::EnginePriceInterval);
         if len == 0 || delta == 0 {
             return 0;
         }

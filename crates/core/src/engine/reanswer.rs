@@ -10,7 +10,8 @@
 //! functions differ; [`reanswer_cost`] then patches the cached cost with
 //! `old_cost − old_suffix(t) + new_suffix(t)` using
 //! [`carbon_cost_from`]. The answer is bit-identical to a cold
-//! [`carbon_cost`] of the same schedule under the new profile — that is
+//! [`carbon_cost`](crate::carbon_cost) of the same schedule under the
+//! new profile — that is
 //! the contract the warm-path test suite pins across S1–S4 and measured
 //! traces.
 //!

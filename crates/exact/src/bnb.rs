@@ -256,6 +256,8 @@ impl<'a, E: CostEngine> SearchState<'a, E> {
                 .fetch_min(self.prefix_cost, Ordering::SeqCst);
             if self.prefix_cost < prev {
                 self.record = Some((self.prefix_cost, self.start.clone()));
+                cawo_obs::inc(cawo_obs::Ctr::BnbIncumbents);
+                cawo_obs::sample("bnb", "incumbent", self.prefix_cost as f64);
             }
             return;
         }
@@ -272,6 +274,7 @@ impl<'a, E: CostEngine> SearchState<'a, E> {
             if self.prefix_cost + delta >= self.shared.best_bound() {
                 // `delta` is sorted ascending, but later candidates can
                 // only match or exceed it — stop this branch.
+                cawo_obs::inc(cawo_obs::Ctr::BnbPruned);
                 break;
             }
             self.place(v, s, len, w, delta);
@@ -438,6 +441,10 @@ fn execute_unit<E: CostEngine + Clone>(
     match unit {
         Unit::Complete { cost, start } => {
             let prev = shared.best.fetch_min(cost, Ordering::SeqCst);
+            if cost < prev {
+                cawo_obs::inc(cawo_obs::Ctr::BnbIncumbents);
+                cawo_obs::sample("bnb", "incumbent", cost as f64);
+            }
             ((cost < prev).then_some((cost, start)), true)
         }
         Unit::Slice {
@@ -642,6 +649,10 @@ pub fn solve_exact_on<E: CostEngine + Clone + Send + Sync>(
         best_cost as Cost,
         cawo_core::carbon_cost(inst, &schedule, profile),
         "engine-priced optimum disagrees with the cost oracle"
+    );
+    cawo_obs::add(
+        cawo_obs::Ctr::BnbNodes,
+        shared.nodes.load(Ordering::Relaxed),
     );
     BnbResult {
         cost: best_cost as Cost,

@@ -68,10 +68,25 @@ pub struct CutStats {
     pub rounds: u32,
     /// Total rows appended.
     pub cuts: u32,
+    /// Disaggregated precedence cuts within `cuts`.
+    pub prec_cuts: u32,
+    /// Lifted cover cuts within `cuts`.
+    pub cover_cuts: u32,
+    /// MIR cuts within `cuts`.
+    pub mir_cuts: u32,
     /// Simplex iterations spent re-solving after cuts.
     pub resolve_iters: u64,
     /// Dual-simplex pivots within `resolve_iters`.
     pub resolve_dual_iters: u64,
+}
+
+/// Which separator produced a cut — carried on every [`Cut`] so the
+/// append loop can account rows per family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CutFamily {
+    Precedence,
+    Cover,
+    Mir,
 }
 
 /// One separated inequality `terms · x ≥ rhs`.
@@ -79,6 +94,7 @@ struct Cut {
     violation: f64,
     terms: Vec<(u32, f64)>,
     rhs: f64,
+    family: CutFamily,
 }
 
 /// Separates disaggregated precedence cuts at `x`: per edge, the most
@@ -136,6 +152,7 @@ fn separate_precedence(
             violation,
             terms,
             rhs: 0.0,
+            family: CutFamily::Precedence,
         });
     }
 }
@@ -216,6 +233,7 @@ fn separate_covers(
             violation,
             terms,
             rhs: excess * (1.0 - cover.len() as f64),
+            family: CutFamily::Cover,
         });
     }
 }
@@ -313,6 +331,7 @@ fn separate_mir(
             violation,
             terms,
             rhs: -scale * fl,
+            family: CutFamily::Mir,
         });
     }
 }
@@ -339,6 +358,10 @@ pub fn root_cut_loop(
     let mut seen_cover: HashSet<(Time, Vec<NodeId>)> = HashSet::new();
     let mut seen_mir: HashSet<(Time, u64)> = HashSet::new();
     let mut stalled = 0u32;
+    // The root bound is the solver's global dual bound until branching
+    // proves more; sampling it per cut round yields the bound-vs-time
+    // convergence series (`bench_obs`, `--obs-out`).
+    cawo_obs::sample("milp", "dual_bound", root.objective);
     for _ in 0..MAX_ROUNDS {
         let mut cuts: Vec<Cut> = Vec::new();
         separate_precedence(model, inst, &root.x, &mut seen_prec, &mut cuts);
@@ -359,8 +382,16 @@ pub fn root_cut_loop(
             model.lp.add_row(cut.terms.clone(), RowCmp::Ge, cut.rhs);
             basis.statuses.push(VStat::Basic);
             stats.cuts += 1;
+            let (fam_stat, fam_ctr) = match cut.family {
+                CutFamily::Precedence => (&mut stats.prec_cuts, cawo_obs::Ctr::CutsPrecedence),
+                CutFamily::Cover => (&mut stats.cover_cuts, cawo_obs::Ctr::CutsCover),
+                CutFamily::Mir => (&mut stats.mir_cuts, cawo_obs::Ctr::CutsMir),
+            };
+            *fam_stat += 1;
+            cawo_obs::inc(fam_ctr);
         }
         stats.rounds += 1;
+        cawo_obs::inc(cawo_obs::Ctr::CutRounds);
         *simplex = SimplexSolver::new(&model.lp);
         simplex.set_basis(&basis);
 
@@ -388,6 +419,7 @@ pub fn root_cut_loop(
         }
         let gain = sol.objective - root.objective;
         root = sol;
+        cawo_obs::sample("milp", "dual_bound", root.objective);
         if gain < MIN_GAIN {
             stalled += 1;
             if stalled >= MAX_STALLED_ROUNDS {

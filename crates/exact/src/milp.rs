@@ -572,6 +572,7 @@ impl MilpSolver {
         };
         let (mut best_sched, mut best_cost) = warm_incumbent(inst, profile, warm);
         let mut nodes: u64 = 1;
+        cawo_obs::inc(cawo_obs::Ctr::MilpNodes); // the root node
         let mut stats = SolveStats::default();
 
         let mut simplex = SimplexSolver::new(&model.lp);
@@ -638,6 +639,9 @@ impl MilpSolver {
             root_cut_loop(&mut model, inst, profile, &mut simplex, root, deadline);
         stats.cut_rounds = cut_stats.rounds;
         stats.cuts = cut_stats.cuts;
+        stats.cuts_prec = cut_stats.prec_cuts;
+        stats.cuts_cover = cut_stats.cover_cuts;
+        stats.cuts_mir = cut_stats.mir_cuts;
         stats.lp_iterations += cut_stats.resolve_iters;
         stats.dual_iterations += cut_stats.resolve_dual_iters;
         let root_bound = ceil_bound(root.objective);
@@ -664,6 +668,9 @@ impl MilpSolver {
                         true
                     }
                 };
+                if prune {
+                    cawo_obs::inc(cawo_obs::Ctr::MilpPruned);
+                }
                 if !prune {
                     // Round the node's fractional solution into an
                     // incumbent candidate before branching: an LP-mass
@@ -674,6 +681,8 @@ impl MilpSolver {
                         if cost < best_cost {
                             best_cost = cost;
                             best_sched = sched;
+                            cawo_obs::inc(cawo_obs::Ctr::MilpIncumbents);
+                            cawo_obs::sample("milp", "incumbent", best_cost as f64);
                         }
                     }
                     // A rounded incumbent that meets this node's own
@@ -694,6 +703,8 @@ impl MilpSolver {
                                     if cost < best_cost {
                                         best_cost = cost;
                                         best_sched = sched;
+                                        cawo_obs::inc(cawo_obs::Ctr::MilpIncumbents);
+                                        cawo_obs::sample("milp", "incumbent", best_cost as f64);
                                     }
                                     // Rounding sub-tolerance dust must not
                                     // have moved the objective: if the true
@@ -776,6 +787,7 @@ impl MilpSolver {
                 }
                 Op::Enter { v, lo, hi, forbid } => {
                     nodes += 1;
+                    cawo_obs::inc(cawo_obs::Ctr::MilpNodes);
                     if nodes > budget.node_limit {
                         exhausted = false;
                         // The matching Leave is on the stack; fall

@@ -145,6 +145,12 @@ pub struct SolveStats {
     pub cut_rounds: u32,
     /// Cutting planes appended to the model at the root.
     pub cuts: u32,
+    /// Disaggregated precedence cuts within `cuts`.
+    pub cuts_prec: u32,
+    /// Lifted cover cuts within `cuts`.
+    pub cuts_cover: u32,
+    /// MIR cuts within `cuts`.
+    pub cuts_mir: u32,
     /// Phase-2 pricing rule of the LP engine (`""` for non-LP methods).
     pub pricing: &'static str,
 }

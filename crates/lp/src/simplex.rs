@@ -588,6 +588,7 @@ impl SimplexSolver {
                     if let Some(b) = self.lagrangian_bound() {
                         self.best_dual_bound =
                             Some(self.best_dual_bound.map_or(b, |prev| prev.max(b)));
+                        cawo_obs::sample("lp", "dual_bound", self.best_dual_bound.unwrap_or(b));
                     }
                 }
             }
@@ -1419,6 +1420,18 @@ impl SimplexSolver {
 
     /// Assembles the solution for a terminal (or budget-capped) state.
     fn finish(&self, status: LpStatus, iterations: u64, stats: LpStats) -> LpSolution {
+        // Mirror the per-solve counters into the process-wide registry
+        // once per solve — the pivot loops themselves stay untouched.
+        if cawo_obs::enabled() {
+            use cawo_obs::Ctr;
+            cawo_obs::inc(Ctr::LpSolves);
+            cawo_obs::add(Ctr::LpPivotsPhase1, stats.phase1_iters);
+            cawo_obs::add(Ctr::LpPivotsPhase2, stats.phase2_iters);
+            cawo_obs::add(Ctr::LpPivotsDual, stats.dual_iters);
+            cawo_obs::add(Ctr::LpBoundFlips, stats.bound_flips);
+            cawo_obs::add(Ctr::LpRefactors, stats.refactors);
+            cawo_obs::add(Ctr::LpDevexResets, stats.devex_resets);
+        }
         let x = self.structural_solution();
         let objective: f64 = self.obj[..self.n].iter().zip(&x).map(|(c, v)| c * v).sum();
         let dual_bound = match status {

@@ -7,6 +7,8 @@
 //!             [--engine dense|interval|fenwick]
 //!             [--solver NAME[,NAME...]] [--solver-budget SPEC]
 //!             [--trace CSV] [--cache] [--serial-timing] [--threads N]
+//!             [--log-level off|summary|trace] [--profile]
+//!             [--obs-out trace.jsonl]
 //! ```
 //!
 //! Heuristic rows carry `kind = variant` and an empty status; exact
@@ -35,6 +37,51 @@ use cawo_exact::{Budget, SolverKind};
 use cawo_platform::TraceSource;
 use cawo_sim::experiment::{run_grid, size_class, ExperimentConfig, GridScale, TraceScenario};
 
+/// Observability knobs: `--profile` prints the summary table after the
+/// grid, `--obs-out` writes the JSONL event trace (validated by
+/// `obs_check`, convertible to a Chrome trace with `--chrome`). Both
+/// raise the recording level on their own when neither `--log-level`
+/// nor `CAWO_LOG` asked for one: `--profile` needs Summary, `--obs-out`
+/// needs the Trace timeline.
+#[derive(Default)]
+struct ObsArgs {
+    log_level: Option<String>,
+    profile: bool,
+    obs_out: Option<String>,
+}
+
+impl ObsArgs {
+    fn init(&self) -> Result<(), String> {
+        let lvl = cawo_obs::init(self.log_level.as_deref())?;
+        if self.log_level.is_none() && std::env::var_os("CAWO_LOG").is_none() {
+            if self.obs_out.is_some() {
+                cawo_obs::set_level(cawo_obs::Level::Trace);
+            } else if self.profile && lvl < cawo_obs::Level::Summary {
+                cawo_obs::set_level(cawo_obs::Level::Summary);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains and reports once the run is over (pool quiescent).
+    fn finish(&self) -> Result<(), String> {
+        if !self.profile && self.obs_out.is_none() {
+            return Ok(());
+        }
+        let snap = cawo_obs::drain();
+        if let Some(path) = &self.obs_out {
+            let mut buf = Vec::new();
+            cawo_obs::write_jsonl(&snap, &mut buf).map_err(|e| e.to_string())?;
+            std::fs::write(path, &buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("observability trace written to {path}");
+        }
+        if self.profile {
+            eprint!("{}", cawo_obs::summary_table(&snap));
+        }
+        Ok(())
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2)
@@ -43,6 +90,7 @@ fn die(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExperimentConfig::new(GridScale::Quick, 42);
+    let mut obs_args = ObsArgs::default();
     let mut i = 0;
     let next = |args: &[String], i: &mut usize| -> String {
         *i += 1;
@@ -89,6 +137,9 @@ fn main() {
                 });
             }
             "--cache" => cfg.cache = Some(Arc::new(SolveCache::new())),
+            "--log-level" => obs_args.log_level = Some(next(&args, &mut i)),
+            "--profile" => obs_args.profile = true,
+            "--obs-out" => obs_args.obs_out = Some(next(&args, &mut i)),
             "--serial-timing" => cfg.serial_timing = true,
             "--threads" => {
                 cfg.threads = next(&args, &mut i)
@@ -99,6 +150,7 @@ fn main() {
         }
         i += 1;
     }
+    obs_args.init().unwrap_or_else(|e| die(&e));
 
     eprintln!(
         "running grid (scale {:?}, seed {}, engine {}, {} solver(s){}{}{}) ...",
@@ -182,6 +234,7 @@ fn main() {
             );
         }
     }
+    obs_args.finish().unwrap_or_else(|e| die(&e));
     // A partial grid (instances skipped over unloadable traces) still
     // emits its rows above, but must not read as a clean run to
     // scripted consumers.

@@ -459,6 +459,7 @@ fn run_grid_inner(cfg: &ExperimentConfig) -> Vec<SpecResult> {
     let prepared: HashMap<PreparedKey, Arc<(Instance, Cluster)>> = keys
         .par_iter()
         .map(|&(family, scaled_to, ck)| {
+            let _s = cawo_obs::span("grid", "prepare_instance");
             let wf = generator::instantiate(&PaperInstance { family, scaled_to }, cfg.seed);
             let cluster = ck.build(cfg.seed);
             let mapping = heft_schedule(&wf, &cluster);
@@ -533,8 +534,11 @@ pub fn run_one(
     cluster: &Cluster,
 ) -> Result<SpecResult, String> {
     let asap_makespan = inst.asap_makespan();
-    let profile = build_profile(cfg, spec, cluster, asap_makespan)
-        .map_err(|e| format!("{}: {e}", spec.id()))?;
+    let profile = {
+        let _s = cawo_obs::span("grid", "build");
+        build_profile(cfg, spec, cluster, asap_makespan)
+            .map_err(|e| format!("{}: {e}", spec.id()))?
+    };
     let params = RunParams {
         engine: cfg.engine,
         ..RunParams::default()
@@ -546,10 +550,13 @@ pub fn run_one(
         debug_assert!(sched.validate(inst, profile.deadline()).is_ok());
         (carbon_cost(inst, &sched, &profile), dt)
     };
-    let (cost, millis): (Vec<Cost>, Vec<f64>) = if cfg.serial_timing {
-        cfg.variants.iter().map(run_variant).unzip()
-    } else {
-        cfg.variants.par_iter().map(run_variant).unzip()
+    let (cost, millis): (Vec<Cost>, Vec<f64>) = {
+        let _s = cawo_obs::span("grid", "evaluate");
+        if cfg.serial_timing {
+            cfg.variants.iter().map(run_variant).unzip()
+        } else {
+            cfg.variants.par_iter().map(run_variant).unzip()
+        }
     };
     let run_solver = |&kind: &SolverKind| {
         let t0 = Instant::now();
@@ -598,11 +605,15 @@ pub fn run_one(
             },
         }
     };
-    let solver_rows: Vec<SolverRow> = if cfg.serial_timing {
-        cfg.solvers.iter().map(run_solver).collect()
-    } else {
-        cfg.solvers.par_iter().map(run_solver).collect()
+    let solver_rows: Vec<SolverRow> = {
+        let _s = cawo_obs::span("grid", "solve");
+        if cfg.serial_timing {
+            cfg.solvers.iter().map(run_solver).collect()
+        } else {
+            cfg.solvers.par_iter().map(run_solver).collect()
+        }
     };
+    cawo_obs::inc(cawo_obs::Ctr::GridRows);
     Ok(SpecResult {
         spec: *spec,
         n_tasks: inst.original_task_count(),

@@ -47,6 +47,39 @@ fn grid_results_are_bit_identical_at_1_and_4_threads() {
 }
 
 #[test]
+fn grid_results_are_bit_identical_with_tracing_on_and_off() {
+    // Observability must be a pure observer: the full event timeline
+    // at `trace` (spans, counters, samples from every layer down to
+    // the LP pivot loop) must leave every grid number untouched, at 1
+    // thread and on a real pool.
+    for threads in [1usize, 4] {
+        cawo_obs::set_level(cawo_obs::Level::Off);
+        let _ = cawo_obs::drain();
+        let off = run_grid(&grid_config(threads));
+        cawo_obs::set_level(cawo_obs::Level::Trace);
+        let on = run_grid(&grid_config(threads));
+        cawo_obs::set_level(cawo_obs::Level::Off);
+        let snap = cawo_obs::drain();
+        assert!(
+            snap.counter(cawo_obs::Ctr::GridRows) >= off.len() as u64,
+            "tracing actually recorded the traced run ({threads} threads)"
+        );
+        assert_eq!(off.len(), on.len());
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!(a.spec.id(), b.spec.id());
+            assert_eq!(
+                a.variants,
+                b.variants,
+                "{} threads, {}",
+                threads,
+                a.spec.id()
+            );
+            assert_eq!(a.cost, b.cost, "{} threads, {}", threads, a.spec.id());
+        }
+    }
+}
+
+#[test]
 fn exhausted_bnb_optima_are_bit_identical_at_1_and_4_threads() {
     // Instances small enough for the search to exhaust, so the
     // parallel solver must reproduce the sequential optimum exactly —

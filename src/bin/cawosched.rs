@@ -31,11 +31,46 @@ fn main() {
         die(USAGE);
     };
     let opts = Options::parse(&args[1..]).unwrap_or_else(|e| die(&format!("{e}\n{USAGE}")));
+    init_obs(&opts);
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
         "schedule" => with_pool(&opts, || schedule_cmd(&opts)),
         "evaluate" => with_pool(&opts, || evaluate_cmd(&opts)),
         other => die(&format!("unknown command `{other}`\n{USAGE}")),
+    }
+    report_obs(&opts);
+}
+
+/// Applies `--log-level` / `CAWO_LOG`, then raises the level where an
+/// output was requested without one: `--profile` needs Summary-level
+/// counters and span histograms, `--obs-out` the Trace event timeline.
+fn init_obs(o: &Options) {
+    let lvl = cawo_obs::init(o.log_level.as_deref()).unwrap_or_else(|e| die(&e));
+    if o.log_level.is_none() && std::env::var_os("CAWO_LOG").is_none() {
+        if o.obs_out.is_some() {
+            cawo_obs::set_level(cawo_obs::Level::Trace);
+        } else if o.profile && lvl < cawo_obs::Level::Summary {
+            cawo_obs::set_level(cawo_obs::Level::Summary);
+        }
+    }
+}
+
+/// Drains the observability sinks after the command finished (the pool
+/// is quiescent here) and emits whatever was asked for.
+fn report_obs(o: &Options) {
+    if !o.profile && o.obs_out.is_none() {
+        return;
+    }
+    let snap = cawo_obs::drain();
+    if let Some(path) = &o.obs_out {
+        let mut buf = Vec::new();
+        cawo_obs::write_jsonl(&snap, &mut buf)
+            .unwrap_or_else(|e| die(&format!("trace serialisation failed: {e}")));
+        std::fs::write(path, &buf).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("observability trace written to {path}");
+    }
+    if o.profile {
+        eprint!("{}", cawo_obs::summary_table(&snap));
     }
 }
 
@@ -62,11 +97,14 @@ const USAGE: &str = "usage:
                      [--deadline 1|1.5|2|3] [--cluster tiny|small|large]
                      [--engine dense|interval|fenwick] [--seed N]
                      [--threads N] [--cache] [--repeat N] [--gantt]
+                     [--log-level off|summary|trace] [--profile]
+                     [--obs-out trace.jsonl]
   cawosched evaluate [--dot FILE|-] [--json FILE] [--scenario S1..S4]
                      [--solver NAME[,NAME...]] [--solver-budget SPEC]
                      [--trace CSV] [--deadline ...] [--cluster ...]
                      [--engine dense|interval|fenwick] [--seed N]
-                     [--threads N]
+                     [--threads N] [--log-level off|summary|trace]
+                     [--profile] [--obs-out trace.jsonl]
 
   --trace replaces the synthetic S1..S4 scenario with a measured
   carbon-intensity trace (CSV rows `time,intensity`); --engine picks the
@@ -78,7 +116,12 @@ const USAGE: &str = "usage:
   default); results are identical at any thread count. --repeat N runs
   the schedule query N times; with --cache, repeats after the first are
   served from the warm-path solve cache and each iteration reports its
-  wall-clock and cache outcome.";
+  wall-clock and cache outcome. --profile prints a solve-profile
+  summary (counters + span timings) to stderr after the command;
+  --obs-out writes the JSONL event trace (see docs/OBSERVABILITY.md;
+  obs_check validates it and converts it to a Chrome trace);
+  --log-level (or the CAWO_LOG env var) sets the recording level
+  explicitly.";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -104,6 +147,9 @@ struct Options {
     threads: usize,
     cache: bool,
     repeat: usize,
+    log_level: Option<String>,
+    profile: bool,
+    obs_out: Option<String>,
 }
 
 impl Options {
@@ -127,6 +173,9 @@ impl Options {
             threads: 0,
             cache: false,
             repeat: 1,
+            log_level: None,
+            profile: false,
+            obs_out: None,
         };
         let mut i = 0;
         let next = |i: &mut usize| -> Result<String, String> {
@@ -197,6 +246,9 @@ impl Options {
                     }
                 }
                 "--threads" => o.threads = next(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+                "--log-level" => o.log_level = Some(next(&mut i)?),
+                "--profile" => o.profile = true,
+                "--obs-out" => o.obs_out = Some(next(&mut i)?),
                 a => return Err(format!("unknown argument {a}")),
             }
             i += 1;
@@ -247,6 +299,7 @@ fn generate_cmd(o: &Options) {
 }
 
 fn prepare(o: &Options) -> (Instance, PowerProfile, Cost) {
+    let _s = cawo_obs::span("cli", "prepare");
     let wf = o.load_workflow();
     let cluster = o.build_cluster();
     let mapping = heft_schedule(&wf, &cluster);
@@ -298,6 +351,7 @@ fn schedule_cmd(o: &Options) {
     let cache = SolveCache::new();
     let mut answer = None;
     for it in 1..=o.repeat {
+        let _s = cawo_obs::span("cli", "query");
         let t0 = Instant::now();
         let (label, sched, cost, outcome) = match o.solvers.first() {
             Some(&kind) => {
@@ -371,6 +425,7 @@ fn evaluate_cmd(o: &Options) {
     );
     println!("{:<14} {:>12} {:>8.3}", "ASAP", baseline, 1.0);
     for v in Variant::CAWOSCHED {
+        let _s = cawo_obs::span("cli", "variant");
         let sched = v.run_with(&inst, &profile, run_params(o));
         let cost = carbon_cost(&inst, &sched, &profile);
         println!(
@@ -381,6 +436,7 @@ fn evaluate_cmd(o: &Options) {
         );
     }
     for &kind in &o.solvers {
+        let _s = cawo_obs::span("cli", "solver");
         let solver = kind.build_with_engine(o.engine);
         match solver.solve(&inst, &profile, o.solver_budget) {
             Ok(res) => println!(
