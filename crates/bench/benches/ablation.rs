@@ -3,6 +3,7 @@
 //! (paper default 3) and the refined-boundary cap (our tractability
 //! guard; `usize::MAX` reproduces the uncapped paper construction).
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -2,6 +2,7 @@
 //! numbers (instance construction, HEFT, cost evaluation, EST/LST,
 //! subdivision).
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -10,6 +10,7 @@
 //! The companion `bench_cost` binary runs the same grid and emits a
 //! machine-readable `BENCH_cost.json`.
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

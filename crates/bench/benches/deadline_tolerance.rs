@@ -2,6 +2,7 @@
 //! observes only a slight increase — the heuristics are driven by graph
 //! structure, not the horizon length.
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

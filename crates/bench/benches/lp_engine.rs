@@ -10,6 +10,7 @@
 //! `cargo run --release -p cawo_bench --bin bench_lp` — which also
 //! asserts engine parity and measures the 200-task headline.)
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cawo_bench::fixtures::lp_chain_fixture;

@@ -1,6 +1,7 @@
 //! Figure 8: wall-clock time of every algorithm variant on a standard
 //! instance (atacseq-1000, small cluster, S1, deadline 1.5×).
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -2,6 +2,7 @@
 //! CI-friendly (2k/4k); set `CAWO_BENCH_SIZES=20000,30000` for the
 //! paper-scale measurement.
 
+#![allow(missing_docs)] // criterion_group! generates undocumented fns
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

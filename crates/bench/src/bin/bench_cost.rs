@@ -29,7 +29,7 @@ fn median_secs<F: FnMut()>(samples: usize, iters: usize, mut f: F) -> f64 {
             t0.elapsed().as_secs_f64() / iters as f64
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 

@@ -88,7 +88,7 @@ fn timed<F: FnMut() -> (u64, u64, &'static str)>(
         out = f();
         times.push(t0.elapsed().as_secs_f64());
     }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(f64::total_cmp);
     (times[times.len() / 2], out.0, out.1, out.2)
 }
 

@@ -107,7 +107,7 @@ fn median<F: FnMut() -> (f64, String)>(samples: usize, mut f: F) -> (f64, f64, S
         out = f();
         times.push(t0.elapsed().as_secs_f64());
     }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(f64::total_cmp);
     (times[times.len() / 2], out.0, out.1)
 }
 
@@ -202,7 +202,7 @@ fn main() {
     let profile = ProfileConfig::new(Scenario::SolarMorning, DeadlineFactor::X15, 42)
         .build(&cluster, inst.asap_makespan());
     let model = SparseA4Model::build(&inst, &profile);
-    let budget = Budget::parse("60s").unwrap();
+    let budget = Budget::parse("60s").expect("static budget string parses");
     for kind in [SolverKind::Lp, SolverKind::Milp] {
         let solver = kind.build();
         let t0 = Instant::now();

@@ -1,3 +1,5 @@
+//! Spot-check: the 12 fixture instances solve and validate end to end.
+
 use cawo_bench::fixtures::fixture;
 use cawo_core::Variant;
 use cawo_graph::generator::Family;
@@ -21,7 +23,8 @@ fn main() {
         let t = Instant::now();
         let s = v.run(&f.inst, &f.profile);
         let dt = t.elapsed().as_secs_f64();
-        s.validate(&f.inst, f.profile.deadline()).unwrap();
+        s.validate(&f.inst, f.profile.deadline())
+            .expect("schedule is deadline-valid");
         eprintln!("{:<12} {:>8.3}s", v.name(), dt);
     }
 }

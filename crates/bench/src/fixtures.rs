@@ -56,7 +56,7 @@ pub fn lp_chain_fixture(
     let exec: Vec<Time> = (0..n).map(|i| 2 + (i as Time % 3)).collect();
     let total: Time = exec.iter().sum();
     let inst = Instance::from_raw(
-        b.build().unwrap(),
+        b.build().expect("fixture dag is acyclic"),
         exec,
         vec![0; n],
         vec![UnitInfo {
@@ -71,7 +71,7 @@ pub fn lp_chain_fixture(
     let mut bounds = vec![0];
     for k in 1..=j {
         let t = horizon * k as Time / j as Time;
-        if t > *bounds.last().unwrap() {
+        if t > *bounds.last().expect("seeded with 0") {
             bounds.push(t);
         }
     }
@@ -93,7 +93,9 @@ pub const COST_ENGINE_TASKS: usize = 8;
 /// (O(breakpoints)) engine.
 pub fn horizon_fixture(horizon: Time, n_tasks: usize) -> (Instance, Schedule, PowerProfile) {
     assert!(horizon >= 4 * n_tasks as Time, "horizon too short");
-    let dag = DagBuilder::new(n_tasks).build().unwrap();
+    let dag = DagBuilder::new(n_tasks)
+        .build()
+        .expect("fixture dag is acyclic");
     let len = horizon / (2 * n_tasks as Time);
     let units: Vec<UnitInfo> = (0..n_tasks)
         .map(|i| UnitInfo {
@@ -144,7 +146,7 @@ pub fn exact_chain_fixture(
     }
     let len = horizon / (2 * n_tasks as Time);
     let inst = Instance::from_raw(
-        b.build().unwrap(),
+        b.build().expect("fixture dag is acyclic"),
         vec![len; n_tasks],
         vec![0; n_tasks],
         vec![UnitInfo {

@@ -14,6 +14,4 @@
 //! The `bench_cost` binary replays the `cost_engine` grid outside the
 //! criterion harness and emits a machine-readable `BENCH_cost.json`.
 
-#![warn(missing_docs)]
-
 pub mod fixtures;

@@ -49,24 +49,28 @@ impl<T> Interner<T> {
 
     /// Returns the pooled value for `key`, building it on first use.
     pub fn intern_with(&self, key: u128, build: impl FnOnce() -> T) -> Arc<T> {
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        if let Some(hit) = self.map.lock().expect("lock poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(build());
-        let mut map = self.map.lock().unwrap();
+        let mut map = self.map.lock().expect("lock poisoned");
         Arc::clone(map.entry(key).or_insert(built))
     }
 
     /// Looks up without building.
     pub fn get(&self, key: u128) -> Option<Arc<T>> {
-        self.map.lock().unwrap().get(&key).map(Arc::clone)
+        self.map
+            .lock()
+            .expect("lock poisoned")
+            .get(&key)
+            .map(Arc::clone)
     }
 
     /// Number of distinct pooled values.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map.lock().expect("lock poisoned").len()
     }
 
     /// True when nothing has been interned yet.

@@ -14,8 +14,6 @@
 //!   the Nth instance against the same cluster+trace allocates almost
 //!   nothing.
 
-#![warn(missing_docs)]
-
 pub mod intern;
 pub mod key;
 pub mod store;

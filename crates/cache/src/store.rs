@@ -153,7 +153,8 @@ impl SolveCache {
 
     /// Number of distinct full-key entries (solver + evaluation).
     pub fn len(&self) -> usize {
-        self.solves.lock().unwrap().len() + self.evals.lock().unwrap().len()
+        self.solves.lock().expect("lock poisoned").len()
+            + self.evals.lock().expect("lock poisoned").len()
     }
 
     /// True when nothing has been cached yet.
@@ -166,16 +167,16 @@ impl SolveCache {
     /// Test hook for the collision guard; not part of the serving API.
     #[doc(hidden)]
     pub fn corrupt_verify_for_tests(&self) {
-        for e in self.solves.lock().unwrap().values_mut() {
+        for e in self.solves.lock().expect("lock poisoned").values_mut() {
             e.verify ^= 1;
         }
-        for e in self.warm_seeds.lock().unwrap().values_mut() {
+        for e in self.warm_seeds.lock().expect("lock poisoned").values_mut() {
             e.verify ^= 1;
         }
-        for e in self.evals.lock().unwrap().values_mut() {
+        for e in self.evals.lock().expect("lock poisoned").values_mut() {
             e.verify ^= 1;
         }
-        for e in self.eval_seeds.lock().unwrap().values_mut() {
+        for e in self.eval_seeds.lock().expect("lock poisoned").values_mut() {
             e.verify ^= 1;
         }
     }
@@ -188,7 +189,7 @@ impl SolveCache {
         key: ContentKey,
         verify_of: impl Fn(&T) -> u64,
     ) -> Option<T> {
-        let map = map.lock().unwrap();
+        let map = map.lock().expect("lock poisoned");
         let entry = map.get(&key.key)?;
         if verify_of(entry) != key.verify {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -254,14 +255,14 @@ impl SolveCache {
             }
         };
 
-        self.solves.lock().unwrap().insert(
+        self.solves.lock().expect("lock poisoned").insert(
             full.key,
             SolveEntry {
                 verify: full.verify,
                 result: result.clone(),
             },
         );
-        self.warm_seeds.lock().unwrap().insert(
+        self.warm_seeds.lock().expect("lock poisoned").insert(
             seed_key.key,
             WarmSeed {
                 verify: seed_key.verify,
@@ -336,8 +337,11 @@ impl SolveCache {
             cost,
             profile: Arc::new(profile.clone()),
         };
-        self.evals.lock().unwrap().insert(full.key, entry);
-        self.eval_seeds.lock().unwrap().insert(
+        self.evals
+            .lock()
+            .expect("lock poisoned")
+            .insert(full.key, entry);
+        self.eval_seeds.lock().expect("lock poisoned").insert(
             seed_key.key,
             EvalEntry {
                 verify: seed_key.verify,

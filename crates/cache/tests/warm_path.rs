@@ -8,6 +8,9 @@
 //!   rejected by the verify signature instead of served.
 //! * Warm-started exact solves reach the same optimum as cold ones.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -34,6 +34,19 @@ use crate::schedule::Schedule;
 /// Total carbon cost (green-budget overshoot integrated over time).
 pub type Cost = u64;
 
+/// Narrows a `u128` cost accumulator to the public [`Cost`] width.
+///
+/// Cost sweeps accumulate in `u128` so intermediate sums of
+/// `power × duration` products cannot overflow. The final total fits
+/// `u64` for every instance the builders accept (bounded horizon and
+/// per-unit power); a value past `u64::MAX` means instance validation
+/// is broken, which is a bug, not a recoverable solver condition.
+pub(crate) fn narrow_cost(cost: u128) -> Cost {
+    // cawo-lint: allow(panic-path) — see above: unreachable for any
+    // instance that passed build-time validation.
+    Cost::try_from(cost).expect("carbon cost fits in u64")
+}
+
 /// Polynomial-time cost evaluation (Appendix A.1).
 ///
 /// Sweeps the merged breakpoints of task starts/ends and interval
@@ -129,7 +142,7 @@ fn sweep_cost(inst: &Instance, sched: &Schedule, profile: &PowerProfile, from: T
         ei += 1;
     }
     debug_assert_eq!(work, 0, "every started task must end");
-    Cost::try_from(cost).expect("carbon cost fits in u64")
+    narrow_cost(cost)
 }
 
 /// Pseudo-polynomial oracle: materialises working power per time unit and
@@ -161,7 +174,7 @@ pub fn carbon_cost_naive(inst: &Instance, sched: &Schedule, profile: &PowerProfi
         };
         cost += (idle + work - budget).max(0) as u128;
     }
-    Cost::try_from(cost).expect("carbon cost fits in u64")
+    narrow_cost(cost)
 }
 
 #[cfg(test)]
@@ -432,11 +445,11 @@ pub fn energy_report(inst: &Instance, sched: &Schedule, profile: &PowerProfile) 
     }
     debug_assert_eq!(work, 0);
     EnergyReport {
-        green: u64::try_from(green).expect("fits"),
-        brown: u64::try_from(brown).expect("fits"),
-        wasted_green: u64::try_from(wasted).expect("fits"),
-        idle_energy: u64::try_from(idle_energy).expect("fits"),
-        work_energy: u64::try_from(work_energy).expect("fits"),
+        green: narrow_cost(green),
+        brown: narrow_cost(brown),
+        wasted_green: narrow_cost(wasted),
+        idle_energy: narrow_cost(idle_energy),
+        work_energy: narrow_cost(work_energy),
     }
 }
 

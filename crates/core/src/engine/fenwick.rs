@@ -121,7 +121,7 @@ impl PrefixCost {
 
     /// `Σ_{t < x} max(p − G(t), 0)` for `x ≤ T`.
     pub fn cum(&self, x: Time) -> u64 {
-        debug_assert!(x <= *self.boundaries.last().unwrap());
+        debug_assert!(self.boundaries.last().is_some_and(|&b| x <= b));
         let j = match self.boundaries.binary_search(&x) {
             Ok(j) => return self.prefix[j.min(self.prefix.len() - 1)],
             Err(j) => j - 1,
@@ -243,6 +243,8 @@ impl FenwickEngine {
             let after = (level + delta - d).max(0);
             acc += (after - before) * (next - t) as i64;
             if next == next_seg {
+                // cawo-lint: allow(panic-path) — `next == next_seg`
+                // implies the peeked entry exists.
                 level += *segs.next().expect("peeked").1;
             }
             if next == next_bound && j + 1 < self.headroom.len() {
@@ -282,6 +284,8 @@ impl CostEngine for FenwickEngine {
             let over = (level - self.headroom[j]).max(0) as u128;
             cost += over * (next - t) as u128;
             if next == next_seg {
+                // cawo-lint: allow(panic-path) — `next == next_seg`
+                // implies the peeked entry exists.
                 level += *segs.next().expect("peeked").1;
             }
             if next == next_bound && j + 1 < self.headroom.len() {
@@ -289,7 +293,7 @@ impl CostEngine for FenwickEngine {
             }
             t = next;
         }
-        Cost::try_from(cost).expect("carbon cost fits in u64")
+        crate::cost::narrow_cost(cost)
     }
 
     fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {

@@ -82,6 +82,8 @@ impl IntervalEngine {
             .work
             .range((Unbounded, Included(t)))
             .next_back()
+            // cawo-lint: allow(panic-path) — the segment map is seeded
+            // with key 0 at construction and key 0 is never removed.
             .expect("key 0 always present")
             .1
     }
@@ -111,6 +113,8 @@ impl IntervalEngine {
                 .work
                 .range((Unbounded, Excluded(t)))
                 .next_back()
+                // cawo-lint: allow(panic-path) — the segment map is seeded
+                // with key 0 at construction and key 0 is never removed.
                 .expect("key 0 always present")
                 .1;
             if prev == level {
@@ -157,6 +161,8 @@ impl IntervalEngine {
             let after = (level + delta - d).max(0);
             acc += (after - before) * (next - t) as i64;
             if next == next_seg {
+                // cawo-lint: allow(panic-path) — `next == next_seg`
+                // implies the peeked entry exists.
                 level = *segs.next().expect("peeked").1;
             }
             if next == next_bound && j + 1 < self.headroom.len() {
@@ -178,6 +184,8 @@ impl CostEngine for IntervalEngine {
     fn total_cost(&self) -> Cost {
         let mut cost: u128 = 0;
         let mut t: Time = 0;
+        // cawo-lint: allow(panic-path) — the segment map is seeded with
+        // key 0 at construction and key 0 is never removed.
         let mut level = *self.work.get(&0).expect("key 0 always present");
         let mut segs = self.work.range((Excluded(0), Unbounded)).peekable();
         let mut j = 0usize;
@@ -188,6 +196,8 @@ impl CostEngine for IntervalEngine {
             let over = (level - self.headroom[j]).max(0) as u128;
             cost += over * (next - t) as u128;
             if next == next_seg {
+                // cawo-lint: allow(panic-path) — `next == next_seg`
+                // implies the peeked entry exists.
                 level = *segs.next().expect("peeked").1;
             }
             if next == next_bound && j + 1 < self.headroom.len() {
@@ -195,7 +205,7 @@ impl CostEngine for IntervalEngine {
             }
             t = next;
         }
-        Cost::try_from(cost).expect("carbon cost fits in u64")
+        crate::cost::narrow_cost(cost)
     }
 
     fn place_delta(&self, start: Time, len: Time, delta: i64) -> i64 {

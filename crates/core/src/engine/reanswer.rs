@@ -87,6 +87,10 @@ pub fn reanswer_cost(
             Some(
                 old_cost
                     .checked_sub(old_tail)
+                    // cawo-lint: allow(panic-path) — the split identity
+                    // `total = head + tail` (see carbon_cost_from docs)
+                    // bounds the tail by the total; property-tested in
+                    // this module.
                     .expect("suffix cost cannot exceed total cost")
                     + new_tail,
             )

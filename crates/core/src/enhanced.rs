@@ -91,8 +91,11 @@ impl Instance {
                 }
             })
             .collect();
-        let mut link_unit: std::collections::HashMap<u32, UnitId> =
-            std::collections::HashMap::new();
+        // BTreeMap keeps any future iteration over link units in
+        // deterministic key order (docs/CONCURRENCY.md); today the map
+        // is only used for entry/lookup.
+        let mut link_unit: std::collections::BTreeMap<u32, UnitId> =
+            std::collections::BTreeMap::new();
 
         let mut kind: Vec<NodeKind> = (0..n).map(|_| NodeKind::Task).collect();
         let mut exec: Vec<Time> = (0..n as NodeId)
@@ -109,6 +112,8 @@ impl Instance {
             if pu == pv {
                 builder.add_edge(u, v);
             } else {
+                // cawo-lint: allow(panic-path) — (u, v) comes from
+                // `dag0.edges()`, so the edge and its weight exist.
                 let c = wf.edge_weight_between(u, v).expect("edge exists");
                 let link = cluster.link_id(pu, pv);
                 let lu = *link_unit.entry(link).or_insert_with(|| {
@@ -150,6 +155,9 @@ impl Instance {
             if units[u].is_link {
                 order.sort_by_key(|&cn| match kind[cn as usize] {
                     NodeKind::Comm { from, to } => (mapping.seed_finish(from), from, to),
+                    // cawo-lint: allow(panic-path) — `unit_order` for a
+                    // link unit is populated exclusively with Comm nodes
+                    // in the loop above.
                     NodeKind::Task => unreachable!("links only hold comm tasks"),
                 });
                 for w in order.windows(2) {
@@ -160,7 +168,12 @@ impl Instance {
 
         let dag = builder
             .build()
+            // cawo-lint: allow(panic-path) — Gc adds edges only along
+            // precedences and per-unit seed order, both acyclic by the
+            // mapping's validity (§4); a cycle means a corrupt mapping.
             .expect("mapping order is consistent with precedences, so Gc is acyclic");
+        // cawo-lint: allow(panic-path) — same invariant: `build` above
+        // already proved acyclicity.
         let topo = dag.topological_order().expect("Gc is acyclic");
         let total_idle = cluster.total_idle_power();
         let max_unit_total_power = units.iter().map(|u| u.p_idle + u.p_work).max().unwrap_or(1);
@@ -200,6 +213,8 @@ impl Instance {
         let mut unit_order: Vec<Vec<NodeId>> = vec![Vec::new(); units.len()];
         let topo = dag
             .topological_order()
+            // cawo-lint: allow(panic-path) — `from_raw`'s documented
+            // precondition: callers hand it an already-acyclic `Gc` dag.
             .expect("raw instance must be acyclic");
         for &v in &topo {
             unit_order[unit_of[v as usize] as usize].push(v);

@@ -94,7 +94,7 @@ impl IntervalSet {
 
     /// Index of the interval containing `t`.
     fn index_of(&self, t: Time) -> usize {
-        debug_assert!(t < *self.end.last().unwrap());
+        debug_assert!(self.end.last().is_some_and(|&last| t < last));
         self.begin.partition_point(|&b| b <= t) - 1
     }
 
@@ -121,7 +121,7 @@ impl IntervalSet {
         debug_assert!(s < e);
         let first = self.split_at(s);
         // Splitting at `e` only when `e` lies strictly inside the horizon.
-        if e < *self.end.last().unwrap() {
+        if self.end.last().is_some_and(|&last| e < last) {
             self.split_at(e);
         }
         let mut i = first;

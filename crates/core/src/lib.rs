@@ -23,8 +23,6 @@
 //! * [`mod@local_search`] — the hill-climbing refinement (suffix `-LS`),
 //! * [`variant`] — the 16 named CaWoSched variants plus the ASAP baseline.
 
-#![warn(missing_docs)]
-
 pub mod bounds;
 pub mod cost;
 pub mod engine;

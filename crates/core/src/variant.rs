@@ -42,7 +42,7 @@ impl Default for RunParams {
 }
 
 /// One of the 17 evaluated algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // systematic naming: score / W(eighted) / R(efined) / Ls
 pub enum Variant {
     Asap,
@@ -267,7 +267,7 @@ mod tests {
 
     #[test]
     fn seventeen_variants_with_unique_names() {
-        let names: std::collections::HashSet<_> = Variant::ALL.iter().map(|v| v.name()).collect();
+        let names: std::collections::BTreeSet<_> = Variant::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(names.len(), 17);
         assert_eq!(Variant::CAWOSCHED.len(), 16);
         assert_eq!(Variant::WITH_LS.len(), 8);
@@ -350,7 +350,7 @@ mod tests {
         let inst = Instance::build(&wf, &cluster, &mapping);
         let profile = ProfileConfig::new(Scenario::Sinusoidal, DeadlineFactor::X20, 77)
             .build(&cluster, inst.asap_makespan());
-        let mut costs = std::collections::HashMap::new();
+        let mut costs = std::collections::BTreeMap::new();
         for v in Variant::ALL {
             let s = v.run(&inst, &profile);
             assert!(s.validate(&inst, profile.deadline()).is_ok(), "{v}");

@@ -4,6 +4,9 @@
 //! as the [`DenseGrid`] oracle and the [`IntervalEngine`] production
 //! backend — bit-for-bit, not approximately.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use cawo_core::enhanced::UnitInfo;

@@ -148,6 +148,7 @@ impl SharedSearch {
             return true;
         }
         if let Some(d) = self.deadline {
+            // cawo-lint: allow(wall-clock) — enforcing the opt-in time budget.
             if Instant::now() >= d {
                 self.stop.store(true, Ordering::Relaxed);
                 return true;
@@ -567,6 +568,9 @@ pub fn solve_exact_on<E: CostEngine + Clone + Send + Sync>(
     let incumbent = config.incumbent.unwrap_or_else(|| inst.asap_schedule());
     incumbent
         .validate(inst, horizon)
+        // cawo-lint: allow(panic-path) — documented contract on
+        // `BnbConfig::incumbent`; accepting an invalid incumbent would
+        // silently report a wrong optimum, so it must fail loudly.
         .expect("incumbent must be valid for the deadline");
     let incumbent_cost = E::build(inst, &incumbent, profile).total_cost() as i64;
 

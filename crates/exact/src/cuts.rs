@@ -192,7 +192,9 @@ fn separate_covers(
         }
         // Greedy cover: largest fractional coverage first, until the
         // selected working powers overflow the budget.
-        cand.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        // cawo-lint: allow(panic-path) — coverage ratios are finite by
+        // construction (denominators are positive work powers).
+        cand.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
         let mut power = idle;
         let mut cover: Vec<(NodeId, f64)> = Vec::new();
         let mut y_sum = 0.0f64;
@@ -370,7 +372,9 @@ pub fn root_cut_loop(
         if cuts.is_empty() {
             break;
         }
-        cuts.sort_by(|a, b| b.violation.partial_cmp(&a.violation).unwrap());
+        // cawo-lint: allow(panic-path) — violations are finite: each is
+        // a difference of finite LP activities.
+        cuts.sort_by(|a, b| b.violation.partial_cmp(&a.violation).expect("finite"));
         cuts.truncate(MAX_CUTS_PER_ROUND);
 
         // Append the rows and re-enter from the old basis extended by
@@ -398,6 +402,7 @@ pub fn root_cut_loop(
         let opts = match deadline {
             None => SimplexOptions::default(),
             Some(d) => {
+                // cawo-lint: allow(wall-clock) — rescaling the opt-in time budget.
                 let now = Instant::now();
                 if now >= d {
                     return (root, stats);

@@ -88,6 +88,8 @@ pub fn to_e_schedule_on<E: CostEngine>(
     profile: &PowerProfile,
     sched: &Schedule,
 ) -> (Schedule, Cost) {
+    // cawo-lint: allow(panic-path) — documented panic: E-schedule
+    // canonicalisation is defined for uniprocessor chains only.
     let (chain, _) = crate::solver::single_chain(inst).unwrap_or_else(|e| panic!("{e}"));
     let horizon = profile.deadline();
 

@@ -420,19 +420,20 @@ impl IlpModel {
     /// Writes the model in CPLEX LP format (for external solvers).
     pub fn to_lp_format(&self) -> String {
         use std::fmt::Write;
+        // `fmt::Write` into a String cannot fail; the Results are dropped.
         let mut out = String::new();
         out.push_str("Minimize\n obj:");
         for &(v, c) in &self.objective {
-            write!(out, " + {c} {}", self.names[v as usize]).unwrap();
+            let _ = write!(out, " + {c} {}", self.names[v as usize]);
         }
         out.push_str("\nSubject To\n");
         for (i, c) in self.constraints.iter().enumerate() {
-            write!(out, " c{i}_{}:", c.tag).unwrap();
+            let _ = write!(out, " c{i}_{}:", c.tag);
             for &(v, a) in &c.terms {
                 if a >= 0 {
-                    write!(out, " + {a} {}", self.names[v as usize]).unwrap();
+                    let _ = write!(out, " + {a} {}", self.names[v as usize]);
                 } else {
-                    write!(out, " - {} {}", -a, self.names[v as usize]).unwrap();
+                    let _ = write!(out, " - {} {}", -a, self.names[v as usize]);
                 }
             }
             let op = match c.cmp {
@@ -440,18 +441,18 @@ impl IlpModel {
                 Cmp::Eq => "=",
                 Cmp::Ge => ">=",
             };
-            writeln!(out, " {op} {}", c.rhs).unwrap();
+            let _ = writeln!(out, " {op} {}", c.rhs);
         }
         out.push_str("Binary\n");
         for (i, d) in self.domains.iter().enumerate() {
             if *d == Domain::Binary {
-                writeln!(out, " {}", self.names[i]).unwrap();
+                let _ = writeln!(out, " {}", self.names[i]);
             }
         }
         out.push_str("General\n");
         for (i, d) in self.domains.iter().enumerate() {
             if *d == Domain::NonNegInt {
-                writeln!(out, " {}", self.names[i]).unwrap();
+                let _ = writeln!(out, " {}", self.names[i]);
             }
         }
         out.push_str("End\n");

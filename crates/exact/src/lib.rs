@@ -36,8 +36,6 @@
 //!
 //! [`CostEngine`]: cawo_core::CostEngine
 
-#![warn(missing_docs)]
-
 pub mod bnb;
 pub mod cuts;
 pub mod dp;

@@ -116,6 +116,7 @@ pub fn solve_milp_counted(
             }
             self.nodes += 1;
             if self.nodes > self.config.node_limit
+                // cawo-lint: allow(wall-clock) — enforcing the opt-in time budget.
                 || self.deadline.is_some_and(|d| Instant::now() >= d)
             {
                 self.exhausted = false;
@@ -203,6 +204,8 @@ pub fn solve_milp_counted(
         base,
         integer_vars,
         config,
+        // cawo-lint: allow(wall-clock) — opt-in time budget: `time_limit` is
+        // documented as non-reproducible; the default (None) never reads the clock.
         deadline: config.time_limit.map(|d| Instant::now() + d),
         nodes: 0,
         best: None,
@@ -562,6 +565,7 @@ impl MilpSolver {
             match deadline {
                 None => Some(SimplexOptions::default()),
                 Some(d) => {
+                    // cawo-lint: allow(wall-clock) — rescaling the opt-in time budget.
                     let now = Instant::now();
                     (now < d).then(|| SimplexOptions {
                         time_limit: Some(d - now),

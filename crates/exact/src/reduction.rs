@@ -34,6 +34,8 @@ pub fn three_partition_instance(xs: &[Time], b: Time) -> (Instance, PowerProfile
     let n = xs.len() / 3;
     let dag = DagBuilder::new(xs.len())
         .build()
+        // cawo-lint: allow(panic-path) — the builder saw no edges, and
+        // an edgeless graph cannot contain a cycle.
         .expect("no edges, trivially acyclic");
     let units: Vec<UnitInfo> = (0..xs.len())
         .map(|_| UnitInfo {
@@ -48,9 +50,11 @@ pub fn three_partition_instance(xs: &[Time], b: Time) -> (Instance, PowerProfile
     // Intervals: B, 1, B, 1, …, B (2n - 1 of them).
     let mut boundaries = vec![0 as Time];
     let mut budgets = Vec::with_capacity(2 * n - 1);
+    let mut cur: Time = 0;
     for k in 0..2 * n - 1 {
         let (len, g) = if k % 2 == 0 { (b, 1) } else { (1, 0) };
-        boundaries.push(boundaries.last().unwrap() + len);
+        cur += len;
+        boundaries.push(cur);
         budgets.push(g);
     }
     (inst, PowerProfile::from_parts(boundaries, budgets))

@@ -188,6 +188,8 @@ pub fn solve_lp(problem: &LpProblem) -> LpOutcome {
         }
         if !run_simplex(&mut tab, &mut obj1, &mut basis, total) {
             // Phase 1 is bounded by construction; unbounded = bug.
+            // cawo-lint: allow(panic-path) — the phase-1 objective is a
+            // sum of artificials, bounded below by 0.
             unreachable!("phase 1 objective is bounded below by 0");
         }
         if -obj1[total] > 1e-7 {
@@ -290,6 +292,8 @@ fn pivot(
     // Split the tableau around the pivot row so the other rows can be
     // updated against it without cloning it each pivot.
     let (before, rest) = tab.split_at_mut(row);
+    // cawo-lint: allow(panic-path) — `row < tab.len()`, so the split
+    // tail is non-empty.
     let (pivot_row, after) = rest.split_first_mut().expect("pivot row in range");
     for r in before.iter_mut().chain(after.iter_mut()) {
         if r[col].abs() > EPS {
@@ -370,6 +374,8 @@ impl crate::solver::Solver for LpDenseSolver {
                     "LP relaxation infeasible — model/instance mismatch".into(),
                 ))
             }
+            // cawo-lint: allow(panic-path) — the A.4 objective is a sum
+            // of non-negative overshoot variables, bounded below by 0.
             LpOutcome::Unbounded => unreachable!("A.4 objective is bounded below by 0"),
         };
         let (schedule, cost) = crate::solver::heuristic_incumbent(inst, profile);

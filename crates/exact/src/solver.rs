@@ -126,6 +126,8 @@ impl Budget {
 
     /// The wall-clock deadline implied by the time limit, anchored now.
     pub(crate) fn deadline_from_now(&self) -> Option<Instant> {
+        // cawo-lint: allow(wall-clock) — opt-in time budget: `time_limit` is
+        // documented as non-reproducible; the default (None) never reads the clock.
         self.time_limit.map(|d| Instant::now() + d)
     }
 }

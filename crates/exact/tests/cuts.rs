@@ -7,6 +7,9 @@
 //! `milp` solver must keep agreeing with the combinatorial
 //! branch-and-bound and the dense-tableau oracle.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use cawo_core::enhanced::UnitInfo;
 use cawo_core::{carbon_cost, Instance, Schedule};
 use cawo_exact::{

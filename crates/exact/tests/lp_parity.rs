@@ -13,6 +13,9 @@
 //!
 //! Run by name in CI: `cargo test -p cawo_exact --test lp_parity`.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

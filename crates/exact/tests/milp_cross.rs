@@ -3,6 +3,9 @@
 //! branch-and-bound, and (single-unit cases) the uniprocessor DP must
 //! all report the same optimal carbon cost.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use cawo_core::enhanced::UnitInfo;
 use cawo_core::Instance;
 use cawo_exact::milp::{solve_ilp_model, MilpConfig, MilpOutcome};

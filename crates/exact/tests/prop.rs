@@ -1,6 +1,9 @@
 //! Property-based tests tying the exact methods together: the two DPs,
 //! the branch-and-bound and the ILP checker must all agree.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use cawo_core::enhanced::UnitInfo;

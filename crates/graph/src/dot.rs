@@ -58,13 +58,13 @@ pub fn to_dot(wf: &Workflow) -> String {
         .chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })
         .collect();
-    writeln!(out, "digraph {name} {{").unwrap();
+    let _ = writeln!(out, "digraph {name} {{");
     for v in 0..wf.task_count() as NodeId {
-        writeln!(out, "  t{v} [weight={}];", wf.node_weight(v)).unwrap();
+        let _ = writeln!(out, "  t{v} [weight={}];", wf.node_weight(v));
     }
     for (u, v) in wf.dag().edges() {
         let w = wf.edge_weight_between(u, v).expect("edge exists");
-        writeln!(out, "  t{u} -> t{v} [weight={w}];").unwrap();
+        let _ = writeln!(out, "  t{u} -> t{v} [weight={w}];");
     }
     out.push_str("}\n");
     out
@@ -147,7 +147,11 @@ pub fn from_dot(input: &str) -> Result<Workflow, DotError> {
     }
     let wf = b.build().map_err(|_| DotError::Cyclic)?;
     for (u, v) in wf.dag().edges() {
-        b2.add_dependence(u, v, wf.edge_weight_between(u, v).unwrap());
+        b2.add_dependence(
+            u,
+            v,
+            wf.edge_weight_between(u, v).expect("edge from edges()"),
+        );
     }
     Ok(b2
         .build()

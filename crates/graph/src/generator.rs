@@ -21,7 +21,7 @@ use crate::workflow::{Workflow, WorkflowBuilder};
 use crate::{NodeId, Weight};
 
 /// The four workflow families of §6.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Family {
     /// ATAC-seq peak-calling pipeline: per-sample chains with a two-way
     /// branch after alignment, converging into consensus/QC stages.

@@ -18,8 +18,6 @@
 //! All quantities are integers: the paper fixes a time unit and expresses
 //! every parameter as an integer multiple of it.
 
-#![warn(missing_docs)]
-
 pub mod dag;
 pub mod dot;
 pub mod generator;

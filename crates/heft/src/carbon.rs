@@ -81,7 +81,7 @@ impl BudgetTrack {
     /// Estimated brown energy of drawing `power` over `[st, ft)` given
     /// the remaining budgets. Time beyond the horizon is all brown.
     fn brown_energy(&self, st: Time, ft: Time, power: i64) -> i64 {
-        let horizon = *self.end.last().unwrap();
+        let horizon = *self.end.last().expect("intervals are non-empty");
         let mut brown = 0i64;
         if ft > horizon {
             brown += power * (ft - ft.min(horizon).max(st)) as i64;
@@ -104,7 +104,7 @@ impl BudgetTrack {
     /// Commits `power` over `[st, ft)`: splits boundary intervals and
     /// decrements the covered remainders.
     fn commit(&mut self, st: Time, ft: Time, power: i64) {
-        let horizon = *self.end.last().unwrap();
+        let horizon = *self.end.last().expect("intervals are non-empty");
         let (st, ft) = (st.min(horizon), ft.min(horizon));
         if st >= ft {
             return;
@@ -203,15 +203,29 @@ pub fn carbon_heft_schedule(
             cands.push((q, st, ft, brown));
         }
         // Makespan guard: keep only candidates close to the best EFT.
-        let min_ft = cands.iter().map(|c| c.2).min().unwrap();
+        let min_ft = cands
+            .iter()
+            .map(|c| c.2)
+            .min()
+            .expect("every node has candidates");
         let ft_cap = if config.makespan_slack.is_finite() {
             (min_ft as f64 * (1.0 + config.makespan_slack.max(0.0))).ceil() as Time
         } else {
             Time::MAX
         };
         cands.retain(|c| c.2 <= ft_cap);
-        let max_ft = cands.iter().map(|c| c.2).max().unwrap().max(1) as f64;
-        let max_brown = cands.iter().map(|c| c.3).max().unwrap().max(1) as f64;
+        let max_ft = cands
+            .iter()
+            .map(|c| c.2)
+            .max()
+            .expect("retain kept min_ft")
+            .max(1) as f64;
+        let max_brown = cands
+            .iter()
+            .map(|c| c.3)
+            .max()
+            .expect("retain kept min_ft")
+            .max(1) as f64;
         let lambda = config.carbon_weight.clamp(0.0, 1.0);
         let (q, st, ft, _) = cands
             .into_iter()

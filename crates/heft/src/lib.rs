@@ -13,8 +13,6 @@
 //! CaWoSched core uses the finish times to fix the ordering of
 //! communication tasks that share a link.
 
-#![warn(missing_docs)]
-
 use cawo_graph::{NodeId, Workflow};
 use cawo_platform::{Cluster, ProcId, Time};
 

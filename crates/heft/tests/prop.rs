@@ -1,5 +1,8 @@
 //! Property-based tests for HEFT and its carbon-aware extension.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use cawo_graph::generator::{generate, Family, GeneratorConfig};

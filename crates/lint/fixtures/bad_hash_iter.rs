@@ -1,0 +1,14 @@
+// Fixture: known-bad for `hash-iter`. Linted as crate "core", Lib.
+use std::collections::HashMap;
+
+fn total(costs: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in costs {
+        sum += v;
+    }
+    sum
+}
+
+fn keys_of(costs: &HashMap<u32, f64>) -> Vec<u32> {
+    costs.keys().copied().collect()
+}

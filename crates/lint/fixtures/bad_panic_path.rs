@@ -1,0 +1,8 @@
+// Fixture: known-bad for `panic-path`. Linted as crate "exact", Lib.
+fn pick(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    if *first > 10 {
+        panic!("too big");
+    }
+    *first
+}

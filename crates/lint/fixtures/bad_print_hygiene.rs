@@ -1,0 +1,10 @@
+// Fixture: known-bad for `print-hygiene`. Linted as crate "graph", Lib.
+fn load(path: &str) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("warning: {e}");
+            None
+        }
+    }
+}

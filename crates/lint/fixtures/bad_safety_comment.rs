@@ -1,0 +1,11 @@
+// Fixture: known-bad for `safety-comment`. Linted as crate "par", Lib.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+fn deref(p: *const u64) -> u64 {
+    let banner = 1;
+    let spacer = banner + 1;
+    let pad = spacer + 1;
+    let _ = pad;
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+// Fixture: known-bad for `slice-index` (strict mode). Linted as
+// crate "lp", Lib.
+fn head(xs: &[f64]) -> f64 {
+    xs[0]
+}

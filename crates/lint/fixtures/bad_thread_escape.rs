@@ -1,0 +1,5 @@
+// Fixture: known-bad for `thread-escape`. Linted as crate "core", Lib.
+fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

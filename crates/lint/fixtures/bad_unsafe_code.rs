@@ -1,0 +1,6 @@
+// Fixture: known-bad for `unsafe-code`. Linted as crate "core", Lib.
+fn sneak(p: *const u64) -> u64 {
+    // SAFETY: caller promises p is valid (the comment does not help:
+    // unsafe is confined to crates/par regardless).
+    unsafe { *p }
+}

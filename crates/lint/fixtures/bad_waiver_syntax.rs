@@ -1,0 +1,6 @@
+// Fixture: known-bad for `waiver-syntax`. Linted as crate "exact", Lib.
+fn capped(budget: Option<u64>) -> u64 {
+    // cawo-lint: allow(panic-path)
+    let b = budget.unwrap();
+    b + 1
+}

@@ -1,0 +1,7 @@
+// Fixture: known-bad for `wall-clock`. Linted as crate "core", Lib.
+use std::time::Instant;
+
+fn solve() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}

@@ -1,0 +1,49 @@
+// Fixture: known-good. Linted as crate "core", Lib — the strictest
+// scope — and must produce zero findings, including in strict mode
+// for every rule except slice-index-free code shapes below.
+use std::collections::{BTreeMap, HashMap};
+
+/// Deterministic iteration: BTreeMap order is the key order.
+fn total(costs: &BTreeMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in costs {
+        sum += v;
+    }
+    sum
+}
+
+/// A lookup-only hash map never fires `hash-iter`: order never
+/// observes results.
+fn lookup(index: &HashMap<u32, f64>, key: u32) -> Option<f64> {
+    index.get(&key).copied()
+}
+
+/// Error propagation instead of panicking.
+fn head(xs: &[f64]) -> Result<f64, String> {
+    xs.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+/// A waiver with a reason suppresses exactly one finding and is
+/// therefore *used* (no unused-waiver here).
+fn capped(budget: Option<u64>) -> u64 {
+    // cawo-lint: allow(panic-path) — budget is always Some on this path (validated by caller)
+    let b = budget.unwrap();
+    b + 1
+}
+
+#[cfg(test)]
+mod tests {
+    // Test scope: panics, prints and hash iteration are all fine here.
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwrap_and_iterate_freely() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2.0f64);
+        let total: f64 = m.values().sum();
+        assert!(total > 0.0);
+        println!("total = {}", m.values().sum::<f64>());
+        let v = m.get(&1).unwrap();
+        assert_eq!(*v, 2.0);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: known-bad for `unused-waiver`. Linted as crate "core", Lib.
+fn fine() -> u64 {
+    // cawo-lint: allow(wall-clock) — stale: the clocked code below was removed
+    let x = 41;
+    x + 1
+}

@@ -1,0 +1,294 @@
+//! The pass driver: file classification, workspace walking, waiver
+//! application, and the `unused-waiver` / `waiver-syntax` meta-rules.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::rules::{self, FileCtx, FileKind, Finding};
+use crate::scope;
+
+/// Pass configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Enables audit-grade rules (`slice-index`) that are too noisy to
+    /// gate CI.
+    pub strict: bool,
+}
+
+/// A parsed `// cawo-lint: allow(rule[, rule…]) — reason` comment.
+#[derive(Debug)]
+struct Waiver {
+    /// Line the waiver suppresses findings on.
+    target_line: u32,
+    /// Line of the waiver comment itself (for reporting).
+    at_line: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Outcome of parsing one `cawo-lint:` comment.
+enum WaiverParse {
+    Ok(Waiver),
+    Malformed { at_line: u32, why: String },
+}
+
+/// Parses `text` (a comment body) as a waiver if it is one.
+///
+/// Grammar: `cawo-lint: allow(rule-id[, rule-id]*) <sep> reason`, where
+/// `<sep>` is an em/en dash or `-` and `reason` is non-empty. The
+/// reason is mandatory: a waiver is an audit record, not an off switch.
+fn parse_waiver(c: &lexer::Comment) -> Option<WaiverParse> {
+    let text = c.text.trim();
+    let rest = text.strip_prefix("cawo-lint:")?.trim_start();
+    let at_line = c.end_line;
+    let target_line = if c.trailing { c.line } else { c.end_line + 1 };
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(WaiverParse::Malformed {
+            at_line,
+            why: "expected `allow(rule-id, …)`".into(),
+        });
+    };
+    let Some((list, tail)) = rest.split_once(')') else {
+        return Some(WaiverParse::Malformed {
+            at_line,
+            why: "unclosed `allow(`".into(),
+        });
+    };
+    let rules: Vec<String> = list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Some(WaiverParse::Malformed {
+            at_line,
+            why: "empty rule list".into(),
+        });
+    }
+    if let Some(bad) = rules.iter().find(|r| !rules::known_rule(r)) {
+        return Some(WaiverParse::Malformed {
+            at_line,
+            why: format!("unknown rule id `{bad}`"),
+        });
+    }
+    let reason = tail
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim();
+    if reason.is_empty() {
+        return Some(WaiverParse::Malformed {
+            at_line,
+            why: "missing reason — write `allow(rule) — why this is sound`".into(),
+        });
+    }
+    Some(WaiverParse::Ok(Waiver {
+        target_line,
+        at_line,
+        rules,
+        used: false,
+    }))
+}
+
+/// Lints one file's source under an explicit classification. This is
+/// the single entry point both the workspace walker and the fixtures
+/// self-test use, so fixtures exercise exactly the shipping path.
+pub fn lint_source(
+    path_display: &str,
+    krate: &str,
+    kind: FileKind,
+    src: &str,
+    opts: Options,
+) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let max_line = src.lines().count() as u32 + 1;
+    let whole_file_test = matches!(kind, FileKind::Test | FileKind::Bench);
+    let scope = scope::scope_map(&lexed.tokens, max_line, whole_file_test);
+    let ctx = FileCtx {
+        path: path_display,
+        krate,
+        kind,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        scope: &scope,
+        strict: opts.strict,
+    };
+    let raw = rules::run_rules(&ctx);
+
+    // Parse waivers; malformed ones report and never suppress.
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut out: Vec<Finding> = Vec::new();
+    for c in &lexed.comments {
+        match parse_waiver(c) {
+            None => {}
+            Some(WaiverParse::Ok(w)) => waivers.push(w),
+            Some(WaiverParse::Malformed { at_line, why }) => out.push(Finding {
+                path: path_display.to_string(),
+                line: at_line,
+                rule: "waiver-syntax",
+                msg: format!("{why}; malformed waivers suppress nothing"),
+            }),
+        }
+    }
+
+    // A leading waiver covers the next *code* line: advance its target
+    // past any further whole-line comments so a waiver may sit above an
+    // explanatory comment block rather than being forced onto one line.
+    for w in &mut waivers {
+        if w.target_line <= w.at_line {
+            continue; // trailing waiver — covers its own line
+        }
+        loop {
+            let next = lexed
+                .comments
+                .iter()
+                .find(|c| !c.trailing && c.line == w.target_line);
+            match next {
+                Some(c) => w.target_line = c.end_line + 1,
+                None => break,
+            }
+        }
+    }
+
+    // Apply waivers.
+    for f in raw {
+        let w = waivers
+            .iter_mut()
+            .find(|w| w.target_line == f.line && w.rules.iter().any(|r| r == f.rule));
+        match w {
+            Some(w) => w.used = true,
+            None => out.push(f),
+        }
+    }
+
+    // Report waivers that suppressed nothing — stale waivers are how
+    // an audit trail rots. Waivers naming rules disabled in this run
+    // (strict-only rules in a default run) are exempt.
+    for w in waivers.iter().filter(|w| !w.used) {
+        let all_disabled = w.rules.iter().all(|r| {
+            rules::RULES
+                .iter()
+                .any(|info| info.id == *r && !info.default_on && !opts.strict)
+        });
+        if all_disabled {
+            continue;
+        }
+        out.push(Finding {
+            path: path_display.to_string(),
+            line: w.at_line,
+            rule: "unused-waiver",
+            msg: format!(
+                "waiver for {} suppresses nothing — remove it or move it next to \
+                 the line it covers",
+                w.rules.join(", ")
+            ),
+        });
+    }
+
+    out
+}
+
+/// Classifies a repo-relative path into (crate key, target kind).
+/// Returns `None` for files the pass does not govern (vendor, target,
+/// fixtures, non-Rust files).
+pub fn classify(rel: &str) -> Option<(String, FileKind)> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    if matches!(parts.first(), Some(&"vendor") | Some(&"target")) {
+        return None;
+    }
+    let (krate, rest) = if parts.first() == Some(&"crates") {
+        let name = (*parts.get(1)?).to_string();
+        (name, &parts[2..])
+    } else {
+        ("cawosched".to_string(), &parts[..])
+    };
+    // The lint crate's fixtures are violation corpora, not shipped
+    // code; the self-test lints them under explicit classifications.
+    if krate == "lint" && rest.first() == Some(&"fixtures") {
+        return None;
+    }
+    let kind = match rest.first() {
+        Some(&"src") => {
+            if rest.get(1) == Some(&"bin") || rest.get(1) == Some(&"main.rs") {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            }
+        }
+        Some(&"tests") => FileKind::Test,
+        Some(&"benches") => FileKind::Bench,
+        Some(&"examples") => FileKind::Example,
+        _ => return None,
+    };
+    Some((krate, kind))
+}
+
+/// Recursively collects `.rs` files under `dir`, repo-relative.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" || name == "vendor" {
+            continue;
+        }
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every first-party `.rs` file under `root` (a workspace
+/// checkout). Findings come back sorted by (path, line, rule).
+pub fn lint_workspace(root: &Path, opts: Options) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some((krate, kind)) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &krate, kind, &src, opts));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Locates the workspace root by ascending from `start` until a
+/// directory with a `[workspace]` manifest and a `crates/` dir appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    for _ in 0..8 {
+        let manifest = dir.join("Cargo.toml");
+        if dir.join("crates").is_dir() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}

@@ -1,0 +1,551 @@
+//! A lightweight Rust lexer: just enough tokenisation for line-accurate
+//! pattern rules.
+//!
+//! The lexer understands everything that can *hide* code from a naive
+//! text scan — line comments, nested block comments, `"…"` strings with
+//! escapes, raw strings `r#"…"#` at any hash depth, byte/C-string
+//! variants, char literals (disambiguated from lifetimes) — and emits a
+//! flat token stream plus a separate comment list. It does **not**
+//! build an AST: rules match token shapes (`Instant :: now`,
+//! `. unwrap (`) which is exactly as much syntax as the contracts in
+//! docs/LINTS.md need.
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `for`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included in `text`).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, byte, number.
+    Literal,
+    /// A single punctuation character (`text` holds exactly one char).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Literal`] only the opening
+    /// delimiter region is preserved verbatim; rules never match on
+    /// literal contents).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes()[0] as char == c && self.text.len() == 1
+    }
+}
+
+/// A comment (line or block) with its line span and body text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// True when source code precedes the comment on its first line
+    /// (a *trailing* comment, e.g. `foo(); // note`).
+    pub trailing: bool,
+}
+
+/// Lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens (comments excluded).
+    pub tokens: Vec<Tok>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenises `src`. Unterminated constructs (string, block comment) are
+/// tolerated: the rest of the file is consumed as that construct, which
+/// is the conservative choice for a linter (nothing after an
+/// unterminated literal can produce a false finding).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether any code token has been emitted on the current line
+    // (drives `Comment::trailing`).
+    let mut code_on_line = false;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            for &c in $s {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let mut text = &src[start..i];
+                text = text.trim_start_matches('/').trim();
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: text.to_string(),
+                    trailing: code_on_line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let trailing = code_on_line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                if line != start_line {
+                    // A multi-line block comment: its final line has no
+                    // code so far.
+                    code_on_line = false;
+                }
+                let text = src[start..i]
+                    .trim_start_matches('/')
+                    .trim_start_matches('*')
+                    .trim_end_matches('/')
+                    .trim_end_matches('*')
+                    .trim();
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: text.to_string(),
+                    trailing,
+                });
+            }
+            b'"' => {
+                let (len, consumed) = scan_string(&b[i..]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"".into(),
+                    line,
+                });
+                bump_lines!(&b[i..i + len]);
+                code_on_line = true;
+                i += consumed.max(1);
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_special_string(&b[i..]) => {
+                let start_line = line;
+                let len = scan_special_string(&b[i..]);
+                bump_lines!(&b[i..i + len]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[i..i + 2.min(len)].into(),
+                    line: start_line,
+                });
+                code_on_line = true;
+                i += len.max(1);
+            }
+            b'\'' => {
+                // Lifetime or char literal. A char literal is `'x'` or
+                // `'\…'`; a lifetime is `'ident` NOT followed by a
+                // closing quote (`'a` vs `'a'`).
+                let rest = &b[i + 1..];
+                let is_char = match rest.first() {
+                    Some(b'\\') => true,
+                    Some(b'\'') => true, // '' — malformed, treat as char
+                    Some(&ch) if is_ident_char(ch) => {
+                        // `'a'` char vs `'a` lifetime: look for closing
+                        // quote right after the ident run of length 1.
+                        // Multi-char idents (`'static`) are lifetimes;
+                        // `'a'` (ident run of 1 + quote) is a char.
+                        let mut j = 0;
+                        while j < rest.len() && is_ident_char(rest[j]) {
+                            j += 1;
+                        }
+                        rest.get(j) == Some(&b'\'') && j == 1
+                    }
+                    _ => true,
+                };
+                if is_char {
+                    let len = scan_char_literal(&b[i..]);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: "'".into(),
+                        line,
+                    });
+                    code_on_line = true;
+                    i += len.max(1);
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].into(),
+                        line,
+                    });
+                    code_on_line = true;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (is_ident_char(b[i]) || b[i] == b'.') {
+                    // `1..10` range: stop before `..`.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    // `1.method()`: a dot followed by a non-digit is a
+                    // method call, not a float continuation.
+                    if b[i] == b'.' && !b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[start..i].into(),
+                    line,
+                });
+                code_on_line = true;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                // `r#ident` raw identifiers arrive here only via the
+                // special-string gate rejecting them; strip the marker.
+                let text = src[start..i].trim_start_matches("r#");
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text.into(),
+                    line,
+                });
+                code_on_line = true;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans a `"…"` string starting at `b[0] == '"'`. Returns
+/// `(len, len)` — the byte length including both quotes.
+fn scan_string(b: &[u8]) -> (usize, usize) {
+    let mut i = 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, i + 1),
+            _ => i += 1,
+        }
+    }
+    (b.len(), b.len())
+}
+
+/// True when the slice starts a raw string (`r"`, `r#`), byte string
+/// (`b"`, `br`), byte char (`b'`), or C string (`c"`, `cr`) — i.e. the
+/// `r`/`b`/`c` is a literal prefix, not an identifier.
+fn starts_raw_or_special_string(b: &[u8]) -> bool {
+    match b.first() {
+        Some(b'r') => match b.get(1) {
+            Some(b'"') => true,
+            Some(b'#') => {
+                // `r#"…"#` raw string vs `r#ident` raw identifier: a raw
+                // string has only `#`s between `r` and the quote.
+                let mut j = 1;
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                b.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        Some(b'b') => {
+            matches!(b.get(1), Some(b'"') | Some(b'\''))
+                || (b.get(1) == Some(&b'r') && starts_raw_or_special_string(&b[1..]))
+        }
+        Some(b'c') => {
+            b.get(1) == Some(&b'"')
+                || (b.get(1) == Some(&b'r') && starts_raw_or_special_string(&b[1..]))
+        }
+        _ => false,
+    }
+}
+
+/// Scans a raw/byte/C string (or byte char) starting at its prefix
+/// letter. Returns total byte length.
+fn scan_special_string(b: &[u8]) -> usize {
+    let mut i = 0;
+    // Skip prefix letters (`r`, `b`, `c`, `br`, `cr`).
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b' || b[i] == b'c') {
+        if b[i] == b'r'
+            || b.get(i + 1) == Some(&b'"')
+            || b.get(i + 1) == Some(&b'\'')
+            || b.get(i + 1) == Some(&b'#')
+        {
+            // keep going below
+        }
+        if b[i] == b'r' {
+            i += 1;
+            break;
+        }
+        i += 1;
+    }
+    // Byte char `b'x'`.
+    if b.get(i) == Some(&b'\'') {
+        return i + scan_char_literal(&b[i..]);
+    }
+    // Count hashes (raw strings only reach here with `r` consumed).
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i.max(1); // not actually a string; consume the prefix
+    }
+    i += 1;
+    if hashes == 0 && b.get(i.wrapping_sub(2)) != Some(&b'r') && !prefix_has_r(b) {
+        // Plain `b"…"` / `c"…"`: escapes apply.
+        let (len, _) = scan_string(&b[i - 1..]);
+        return i - 1 + len;
+    }
+    // Raw string: find `"` followed by `hashes` hashes, no escapes.
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = 0;
+            while j < hashes && b.get(i + 1 + j) == Some(&b'#') {
+                j += 1;
+            }
+            if j == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+fn prefix_has_r(b: &[u8]) -> bool {
+    b.iter().take(2).any(|&c| c == b'r')
+}
+
+/// Scans a char/byte-char literal starting at `'`. Returns byte length.
+fn scan_char_literal(b: &[u8]) -> usize {
+    let mut i = 1;
+    if b.get(i) == Some(&b'\\') {
+        i += 2;
+    } else if i < b.len() {
+        // Possibly multi-byte UTF-8; advance to the closing quote.
+        i += 1;
+        while i < b.len() && b[i] & 0xC0 == 0x80 {
+            i += 1;
+        }
+    }
+    if b.get(i) == Some(&b'\'') {
+        i + 1
+    } else {
+        // Malformed; consume just the opening quote.
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, u32)> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.clone(), t.line))
+            .collect()
+    }
+
+    #[test]
+    fn line_comment_hides_code() {
+        let l = lex("let a = 1; // Instant::now()\nlet b = 2;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text, "Instant::now()");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(
+            idents("/* a /* b */ c */ let x = 1;"),
+            vec![("let".into(), 1), ("x".into(), 1)]
+        );
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn block_comment_line_spans() {
+        let l = lex("/* one\ntwo\nthree */ let x = 1;");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 3);
+        assert_eq!(l.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_code_and_track_lines() {
+        let l = lex("let s = \"unwrap() panic!\";\nlet t = 1;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(l.tokens.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let l = lex(r#"let s = "a\"b"; let c = 1;"#);
+        assert!(l.tokens.iter().any(|t| t.is_ident("c")));
+    }
+
+    #[test]
+    fn raw_strings_at_hash_depths() {
+        let l = lex(r###"let s = r#"contains "quotes" and unwrap()"#; let after = 1;"###);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+        let l2 = lex("let s = r\"plain raw unwrap()\"; let after = 1;");
+        assert!(!l2.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l2.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn multiline_raw_string_tracks_lines() {
+        let l = lex("let s = r#\"line1\nline2\nline3\"#;\nlet x = 1;");
+        assert_eq!(
+            l.tokens.iter().find(|t| t.is_ident("x")).map(|t| t.line),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex("let a = b\"bytes unwrap()\"; let b2 = b'x'; let c = br#\"raw unwrap()\"#; let end = 1;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d: char = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(lifetimes[0].text, "'a");
+        // 'x' and '\n' are char literals, not lifetimes.
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text == "'")
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn static_lifetime_not_a_char() {
+        let l = lex("fn f(x: &'static str) {}");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn char_quote_does_not_swallow_rest_of_file() {
+        // A char literal containing a quote-sensitive char must not
+        // desynchronise the lexer.
+        let l = lex("let q = '\"'; let after = 1;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn float_vs_method_call() {
+        let l = lex("let a = 1.5; let b = 1.max(2); let r = 0..10;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("max")));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "1.5"));
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let l = lex("let r#fn = 1; let s = r#\"raw\"#;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn trailing_vs_leading_comments() {
+        let l = lex("let a = 1; // trailing\n// leading\nlet b = 2;");
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let l = lex("let s = \"never closed unwrap()");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

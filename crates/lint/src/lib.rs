@@ -1,0 +1,33 @@
+//! `cawo_lint` — the workspace's own static-analysis pass.
+//!
+//! The reproduction's headline claim is that every reported result is
+//! bit-identical at any thread count (docs/CONCURRENCY.md). The
+//! invariants behind that claim — no wall-clock on result paths, no
+//! hash-order iteration where order feeds results, all threading
+//! through `cawo_par`, panics surfaced as errors, `unsafe` confined to
+//! the pool and justified line-by-line — are enforced here as a CI
+//! gate, not prose. docs/LINTS.md is the rule catalogue.
+//!
+//! The pass is std-only: a lightweight Rust lexer ([`lexer`]) feeds a
+//! test-scope tracker ([`scope`]) and a set of token-pattern rules
+//! ([`rules`]); the driver ([`engine`]) walks the first-party crates,
+//! applies `// cawo-lint: allow(rule) — reason` waivers, and reports
+//! `file:line: rule-id: message` findings, exiting non-zero on any.
+//!
+//! ```
+//! use cawo_lint::engine::{lint_source, Options};
+//! use cawo_lint::rules::FileKind;
+//!
+//! let src = "fn f() { let t = std::time::Instant::now(); }\n";
+//! let findings = lint_source("x.rs", "core", FileKind::Lib, src, Options::default());
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "wall-clock");
+//! ```
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use engine::{lint_source, lint_workspace, Options};
+pub use rules::{FileKind, Finding, RULES};

@@ -1,0 +1,140 @@
+//! The `cawo_lint` binary: lints the workspace (or given paths) and
+//! exits non-zero on findings. CI runs
+//! `cargo run --release -p cawo_lint -- --workspace`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cawo_lint::engine::{self, Options};
+use cawo_lint::rules::{self, FileKind};
+
+const USAGE: &str = "\
+cawo_lint — workspace static-analysis pass (docs/LINTS.md)
+
+USAGE:
+    cawo_lint --workspace [--strict]
+    cawo_lint [--strict] <file.rs|dir>...
+    cawo_lint --list-rules
+
+OPTIONS:
+    --workspace    Lint every first-party crate from the workspace root
+    --strict       Also run audit-grade rules (slice-index)
+    --list-rules   Print the rule catalogue and exit
+";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut strict = false;
+    let mut list = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--strict" => strict = true,
+            "--list-rules" => list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            p if !p.starts_with('-') => paths.push(PathBuf::from(p)),
+            other => {
+                eprintln!("cawo_lint: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        for r in rules::RULES {
+            let tag = if r.default_on { "" } else { "  [strict only]" };
+            println!("{:<16} {}{}", r.id, r.desc, tag);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let opts = Options { strict };
+    let findings = if workspace || paths.is_empty() {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let Some(root) = engine::find_workspace_root(&cwd) else {
+            eprintln!("cawo_lint: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match engine::lint_workspace(&root, opts) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cawo_lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint_paths(&paths, opts) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cawo_lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("cawo_lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cawo_lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Lints explicitly named files/dirs, classifying each by its path
+/// relative to the enclosing workspace root (falling back to generic
+/// library code when the file lies outside any known layout).
+fn lint_paths(paths: &[PathBuf], opts: Options) -> std::io::Result<Vec<cawo_lint::Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let abs = file.canonicalize().unwrap_or_else(|_| file.clone());
+        let root = engine::find_workspace_root(abs.parent().unwrap_or(Path::new(".")));
+        let rel = match &root {
+            Some(r) => abs
+                .strip_prefix(r)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/"),
+            None => file.to_string_lossy().replace('\\', "/"),
+        };
+        let (krate, kind) =
+            engine::classify(&rel).unwrap_or_else(|| ("unknown".into(), FileKind::Lib));
+        let src = std::fs::read_to_string(file)?;
+        findings.extend(engine::lint_source(&rel, &krate, kind, &src, opts));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" || name == "vendor" {
+            continue;
+        }
+        if p.is_dir() {
+            collect(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,204 @@
+//! Determinism rules: wall-clock reads, threading outside the pool,
+//! and hash-order iteration (docs/CONCURRENCY.md is the contract these
+//! enforce).
+
+use super::{matches_seq, FileCtx, FileKind, Finding, SOLVER_CRATES, TIMING_CRATES};
+use crate::lexer::TokKind;
+
+/// `wall-clock`: `Instant::now` / `SystemTime::now` outside the timing
+/// crates. Budget/deadline code that legitimately reads the clock
+/// carries a waiver, so every wall-clock read on a potential result
+/// path is explicitly accounted for.
+pub fn wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if TIMING_CRATES.contains(&ctx.krate) || !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !ctx.shipped(t.line) {
+            continue;
+        }
+        for clock in ["Instant", "SystemTime"] {
+            if t.text == clock && matches_seq(&ctx.tokens[i + 1..], &["p::", "p::", "i:now"]) {
+                out.push(ctx.finding(
+                    t.line,
+                    "wall-clock",
+                    format!(
+                        "{clock}::now() outside a timing crate — wall-clock reads on result \
+                         paths break bit-identity; waive if this only enforces a budget"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `thread-escape`: raw `std::thread::spawn` / `thread::Builder` /
+/// `mpsc` anywhere but `crates/par`. All parallelism routes through
+/// the pool so `CAWO_THREADS=1` really means strictly sequential.
+pub fn thread_escape(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.krate == "par" || !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !ctx.shipped(t.line) {
+            continue;
+        }
+        if t.text == "thread"
+            && (matches_seq(&ctx.tokens[i + 1..], &["p::", "p::", "i:spawn"])
+                || matches_seq(&ctx.tokens[i + 1..], &["p::", "p::", "i:Builder"]))
+        {
+            out.push(ctx.finding(
+                t.line,
+                "thread-escape",
+                "raw thread creation outside cawo_par — spawn through the pool so \
+                 CAWO_THREADS governs every thread",
+            ));
+        }
+        if t.text == "mpsc" {
+            out.push(ctx.finding(
+                t.line,
+                "thread-escape",
+                "mpsc channel outside cawo_par — channel receive order is \
+                 scheduling-dependent; use pool reductions (docs/CONCURRENCY.md)",
+            ));
+        }
+    }
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// `hash-iter`: iterating a `HashMap`/`HashSet` in a solver crate.
+///
+/// Purely lexical type tracking: an identifier is *hash-bound* when the
+/// file declares it with a `HashMap`/`HashSet` type ascription or
+/// initialises it from a `HashMap::…`/`HashSet::…` constructor call.
+/// Lookup-only maps never fire; only iteration-shaped uses
+/// (`.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`,
+/// `for … in &map`) do.
+pub fn hash_iter(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !SOLVER_CRATES.contains(&ctx.krate) || !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let toks = ctx.tokens;
+
+    // Pass 1: collect hash-bound identifiers.
+    let mut bound: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over a `path ::` prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        // `name : [&] [mut] ['a] [path::] HashMap` — a type ascription
+        // (let binding, struct field, or parameter). Walk back over
+        // reference sigils, then require a *single* colon.
+        let mut a = j;
+        while a >= 1
+            && (toks[a - 1].is_punct('&')
+                || toks[a - 1].is_ident("mut")
+                || toks[a - 1].kind == TokKind::Lifetime)
+        {
+            a -= 1;
+        }
+        if a >= 2
+            && toks[a - 1].is_punct(':')
+            && !toks[a - 2].is_punct(':')
+            && toks[a - 2].kind == TokKind::Ident
+        {
+            bound.push(&toks[a - 2].text);
+        }
+        // `let [mut] name = [path::] HashMap …` — constructor init
+        // without an ascription.
+        if j >= 2 && toks[j - 1].is_punct('=') {
+            let mut k = j - 2;
+            if toks[k].is_ident("mut") {
+                continue; // `… = mut` is not Rust; skip
+            }
+            if toks[k].kind != TokKind::Ident {
+                continue;
+            }
+            let name = &toks[k].text;
+            if k >= 1 && toks[k - 1].is_ident("mut") {
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].is_ident("let") {
+                bound.push(name);
+            }
+        }
+    }
+    bound.sort_unstable();
+    bound.dedup();
+    if bound.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration-shaped uses of bound names.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !ctx.shipped(t.line) {
+            continue;
+        }
+        if bound.binary_search(&t.text.as_str()).is_err() {
+            continue;
+        }
+        // `name . iter ( )` and friends. Exclude field accesses of the
+        // same name (`x.name.iter()` still fires — the field was bound
+        // by ascription, which is what pass 1 recorded).
+        if let (Some(dot), Some(m)) = (toks.get(i + 1), toks.get(i + 2)) {
+            if dot.is_punct('.')
+                && m.kind == TokKind::Ident
+                && ITER_METHODS.contains(&m.text.as_str())
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(ctx.finding(
+                    m.line,
+                    "hash-iter",
+                    format!(
+                        "`{}.{}()` iterates a hash container in a solver crate — hash order \
+                         is nondeterministic; use BTreeMap/BTreeSet or collect-and-sort",
+                        t.text, m.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // `for pat in [&[mut]] name {` — direct iteration.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            // Walk back past `&`/`mut` to the `in` keyword; bounded
+            // lookback keeps this linear.
+            let mut j = i;
+            while j >= 1 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+                j -= 1;
+            }
+            if j >= 1 && toks[j - 1].is_ident("in") {
+                out.push(ctx.finding(
+                    t.line,
+                    "hash-iter",
+                    format!(
+                        "`for … in {}` iterates a hash container in a solver crate — hash \
+                         order is nondeterministic; use BTreeMap/BTreeSet or collect-and-sort",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}

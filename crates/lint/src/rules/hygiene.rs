@@ -1,0 +1,35 @@
+//! Observability hygiene: library code never prints; diagnostics go
+//! through `cawo_obs` (docs/OBSERVABILITY.md).
+
+use super::{FileCtx, FileKind, Finding};
+use crate::lexer::TokKind;
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// `print-hygiene`: `println!`/`eprintln!`/`dbg!` in non-test library
+/// code of any crate. Binaries (CLIs, report emitters) print by
+/// design and are excluded; libraries route through `cawo_obs::warn`
+/// or events so output respects the level gate and lands in traces.
+pub fn print_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !ctx.shipped(t.line) {
+            continue;
+        }
+        if PRINT_MACROS.contains(&t.text.as_str())
+            && ctx.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(ctx.finding(
+                t.line,
+                "print-hygiene",
+                format!(
+                    "`{}!` in library code — route through cawo_obs::warn / events \
+                     (docs/OBSERVABILITY.md) so output respects the level gate",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The rule set: each rule is a function from a lexed file to findings.
+//!
+//! Rules are deliberately *scoped* — a rule only applies to the crates
+//! and target kinds where its contract holds (docs/LINTS.md has the
+//! catalogue and the rationale for each scope). Intentional exceptions
+//! are expressed in the source with a waiver comment, never by editing
+//! the scope tables here.
+
+use crate::lexer::{Comment, Tok, TokKind};
+use crate::scope::ScopeMap;
+
+pub mod determinism;
+pub mod hygiene;
+pub mod panics;
+pub mod unsafety;
+
+/// What kind of compile target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/**` except `src/bin`).
+    Lib,
+    /// Binary code (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benches (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (kebab-case, used in waivers).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Everything a rule may look at for one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative display path.
+    pub path: &'a str,
+    /// Crate key: the directory name under `crates/` (`core`, `par`,
+    /// …) or `cawosched` for the facade's `src/`.
+    pub krate: &'a str,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Code tokens (comments excluded).
+    pub tokens: &'a [Tok],
+    /// Comments, in source order.
+    pub comments: &'a [Comment],
+    /// Per-line test-scope map.
+    pub scope: &'a ScopeMap,
+    /// Strict mode: enables audit-grade rules that are too noisy to
+    /// gate CI (currently `slice-index`).
+    pub strict: bool,
+}
+
+impl FileCtx<'_> {
+    pub(crate) fn finding(&self, line: u32, rule: &'static str, msg: impl Into<String>) -> Finding {
+        Finding {
+            path: self.path.to_string(),
+            line,
+            rule,
+            msg: msg.into(),
+        }
+    }
+
+    /// True when the token at `line` is in shipped (non-test) code.
+    pub(crate) fn shipped(&self, line: u32) -> bool {
+        !self.scope.is_test(line)
+    }
+}
+
+/// The solver/reduction crates whose outputs feed reported results;
+/// hash-order iteration and panics are banned here.
+pub const SOLVER_CRATES: &[&str] = &["core", "exact", "lp", "sim"];
+
+/// Crates whose whole purpose is timing (wall-clock reads are their
+/// job, not a determinism leak).
+pub const TIMING_CRATES: &[&str] = &["obs", "bench"];
+
+/// Static description of one rule, for `--list-rules` and the docs.
+pub struct RuleInfo {
+    /// Stable kebab-case id (what waivers name).
+    pub id: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// False for strict-only (audit) rules.
+    pub default_on: bool,
+}
+
+/// The rule catalogue, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        desc: "Instant::now/SystemTime::now outside timing crates (obs, bench): wall-clock reads on result paths break bit-identity",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "thread-escape",
+        desc: "std::thread::spawn / mpsc outside crates/par: all threading goes through the cawo_par pool",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "hash-iter",
+        desc: "HashMap/HashSet iteration in solver crates: hash order is nondeterministic; use BTreeMap/BTreeSet or sort first",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "panic-path",
+        desc: "unwrap/expect/panic!/unreachable! in solver-crate library code: solver errors must surface as SolveError, not aborts",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "slice-index",
+        desc: "direct slice indexing in solver-crate library code (strict/audit mode only: dense numeric kernels make this too noisy to gate CI)",
+        default_on: false,
+    },
+    RuleInfo {
+        id: "unsafe-code",
+        desc: "`unsafe` outside crates/par: the pool is the only crate with an audited unsafe surface",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "safety-comment",
+        desc: "an `unsafe` block or impl without a `// SAFETY:` comment in the 3 lines above it",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "print-hygiene",
+        desc: "println!/eprintln!/dbg! in library code: route diagnostics through cawo_obs (warn/events)",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "unused-waiver",
+        desc: "a `cawo-lint: allow(...)` waiver that suppresses nothing",
+        default_on: true,
+    },
+    RuleInfo {
+        id: "waiver-syntax",
+        desc: "a malformed waiver (unknown rule id or missing reason); malformed waivers suppress nothing",
+        default_on: true,
+    },
+];
+
+/// True when `id` names a known rule.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Runs every applicable rule on one file. Waivers are applied by the
+/// engine afterwards.
+pub fn run_rules(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    determinism::wall_clock(ctx, &mut out);
+    determinism::thread_escape(ctx, &mut out);
+    determinism::hash_iter(ctx, &mut out);
+    panics::panic_path(ctx, &mut out);
+    panics::slice_index(ctx, &mut out);
+    unsafety::unsafe_rules(ctx, &mut out);
+    hygiene::print_hygiene(ctx, &mut out);
+    out
+}
+
+/// Token-window helper: true when `toks[i..]` starts with the given
+/// ident/punct pattern, where each pattern atom is either `i:<ident>`
+/// or `p:<char>`.
+pub(crate) fn matches_seq(toks: &[Tok], pat: &[&str]) -> bool {
+    if toks.len() < pat.len() {
+        return false;
+    }
+    pat.iter().zip(toks).all(|(p, t)| match p.split_once(':') {
+        Some(("i", name)) => t.kind == TokKind::Ident && t.text == name,
+        Some(("p", c)) => t.kind == TokKind::Punct && t.text == c,
+        _ => false,
+    })
+}

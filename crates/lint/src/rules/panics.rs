@@ -1,0 +1,97 @@
+//! Panic-safety rules for solver-crate library code.
+//!
+//! The solver stack reports failures through `SolveError`/`Result` —
+//! a panic in library code aborts a whole grid run (and under
+//! `cawo_par`, poisons a worker). Sites whose invariants genuinely
+//! guarantee unreachability carry a waiver naming that invariant.
+
+use super::{FileCtx, FileKind, Finding, SOLVER_CRATES};
+use crate::lexer::TokKind;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// `panic-path`: `.unwrap()` / `.expect(…)` / `panic!` /
+/// `unreachable!` / `todo!` / `unimplemented!` in non-test library
+/// code of the solver crates.
+pub fn panic_path(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !SOLVER_CRATES.contains(&ctx.krate) || ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !ctx.shipped(t.line) {
+            continue;
+        }
+        // `. unwrap (` / `. expect (`
+        if (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(ctx.finding(
+                t.line,
+                "panic-path",
+                format!(
+                    "`.{}()` in solver library code — propagate a SolveError (or waive, \
+                     naming the invariant that makes this unreachable)",
+                    t.text
+                ),
+            ));
+        }
+        // `panic !` etc.
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(ctx.finding(
+                t.line,
+                "panic-path",
+                format!(
+                    "`{}!` in solver library code — propagate a SolveError (or waive, \
+                     naming the invariant that makes this unreachable)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Keywords and primitive-ish idents that can directly precede `[`
+/// without forming an indexing expression.
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "move", "as", "dyn", "impl",
+    "where", "const", "static", "break", "continue", "type", "fn", "pub", "use", "crate",
+];
+
+/// `slice-index` (strict/audit mode only): `ident[…]` indexing in
+/// solver-crate library code. Out-of-bounds indexing is the one panic
+/// the other rule cannot see; dense numeric kernels make this far too
+/// noisy to gate CI, so it ships as an audit query, not a gate.
+pub fn slice_index(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.strict || !SOLVER_CRATES.contains(&ctx.krate) || ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !ctx.shipped(t.line) {
+            continue;
+        }
+        if NON_INDEX_PRECEDERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            continue;
+        }
+        // Exclude array-type positions `x: [T; N]` — there the `[` is
+        // preceded by `:`/`=`/`(`/`<`, not by an identifier, so the
+        // ident-then-`[` shape is already an index or an attribute.
+        // Attributes (`#[…]`) never have an ident before `[`.
+        out.push(ctx.finding(
+            t.line,
+            "slice-index",
+            format!(
+                "`{}[…]` may panic on out-of-bounds; consider .get()",
+                t.text
+            ),
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Test-scope tracking: which lines belong to `#[cfg(test)]` items or
+//! `mod tests` blocks.
+//!
+//! Rules that only govern *shipped* code (panic-safety, hash-order
+//! determinism, print hygiene) must not fire inside unit-test modules.
+//! The tracker walks the token stream once, pairing `#[cfg(test)]` /
+//! `#[test]` attributes with the item that follows and tracking brace
+//! depth, and produces a per-line `is_test` map.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Per-line test-scope classification for one file.
+#[derive(Debug)]
+pub struct ScopeMap {
+    test_lines: Vec<bool>, // index 0 = line 1
+}
+
+impl ScopeMap {
+    /// True when `line` (1-based) is inside test-scoped code.
+    pub fn is_test(&self, line: u32) -> bool {
+        self.test_lines
+            .get((line as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// True when the attribute token span (`cfg ( test )`, `test`,
+/// `cfg ( all ( test , … ) )`) marks the following item as test-only.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    // `#[test]`, `#[tokio::test]`-style: first ident is/ends with `test`.
+    if attr.first().is_some_and(|t| t.is_ident("test")) {
+        return true;
+    }
+    // `#[cfg(test)]` / `#[cfg(all(test, …))]`: a `cfg` attribute whose
+    // argument list mentions the bare predicate `test`. `any(test, …)`
+    // is treated as test too — over-approximating test scope only ever
+    // *relaxes* shipped-code rules, never hides shipped code, and the
+    // workspace doesn't use `any(test, …)` for shipped paths.
+    if attr.first().is_some_and(|t| t.is_ident("cfg")) {
+        return attr.iter().skip(1).any(|t| t.is_ident("test"));
+    }
+    false
+}
+
+/// Computes the test-scope map for a token stream.
+///
+/// `whole_file_test` forces every line to test scope (integration-test
+/// and bench files).
+pub fn scope_map(tokens: &[Tok], max_line: u32, whole_file_test: bool) -> ScopeMap {
+    let mut test_lines = vec![whole_file_test; max_line as usize];
+    if whole_file_test {
+        return ScopeMap { test_lines };
+    }
+
+    // Stack of brace depths at which a test region closes.
+    let mut region_close_depth: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    // Set when a test attribute (or `mod tests`) has been seen and we
+    // are waiting for the item's `{ … }` or terminating `;`.
+    let mut pending_from_line: Option<u32> = None;
+
+    let mark = |from: u32, to: u32, test_lines: &mut Vec<bool>| {
+        for l in from..=to {
+            if let Some(slot) = test_lines.get_mut((l as usize).saturating_sub(1)) {
+                *slot = true;
+            }
+        }
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Punct if t.is_punct('#') => {
+                // Attribute: `#[ … ]` (or inner `#![ … ]`).
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let start = j + 1;
+                    let mut bracket = 1usize;
+                    let mut k = start;
+                    while k < tokens.len() && bracket > 0 {
+                        if tokens[k].is_punct('[') {
+                            bracket += 1;
+                        } else if tokens[k].is_punct(']') {
+                            bracket -= 1;
+                        }
+                        k += 1;
+                    }
+                    let attr = &tokens[start..k.saturating_sub(1)];
+                    if attr_is_test(attr) && pending_from_line.is_none() {
+                        pending_from_line = Some(t.line);
+                    }
+                    i = k;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.is_ident("mod") => {
+                // `mod tests { … }` (with or without the attribute —
+                // the conventional name alone marks test scope).
+                if let Some(name) = tokens.get(i + 1) {
+                    let named_tests = name.kind == TokKind::Ident
+                        && (name.text == "tests" || name.text.ends_with("_tests"));
+                    if named_tests && pending_from_line.is_none() {
+                        pending_from_line = Some(t.line);
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                if let Some(from) = pending_from_line.take() {
+                    region_close_depth.push(depth);
+                    mark(from, t.line, &mut test_lines);
+                }
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                depth = depth.saturating_sub(1);
+                if region_close_depth.last() == Some(&depth) {
+                    region_close_depth.pop();
+                    if !region_close_depth.is_empty() {
+                        // still inside an outer test region
+                    }
+                    mark(t.line, t.line, &mut test_lines);
+                }
+                i += 1;
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // `#[cfg(test)] use …;` / `mod tests;` — a single
+                // test-scoped item with no block.
+                if let Some(from) = pending_from_line.take() {
+                    mark(from, t.line, &mut test_lines);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+        // Mark every line covered while inside an open test region.
+        if !region_close_depth.is_empty() {
+            if let Some(prev) = tokens.get(i.saturating_sub(1)) {
+                mark(prev.line, prev.line, &mut test_lines);
+            }
+        }
+    }
+
+    ScopeMap { test_lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> ScopeMap {
+        let lexed = lex(src);
+        let max = src.lines().count() as u32 + 1;
+        scope_map(&lexed.tokens, max, false)
+    }
+
+    #[test]
+    fn cfg_test_module_is_test_scope() {
+        let src = "fn ship() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn ship2() {}\n";
+        let m = map(src);
+        assert!(!m.is_test(1));
+        assert!(m.is_test(2)); // the attribute line
+        assert!(m.is_test(3));
+        assert!(m.is_test(4));
+        assert!(m.is_test(5));
+        assert!(!m.is_test(6));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_test_scope() {
+        let src = "mod tests {\n    fn helper() {}\n}\nfn ship() {}\n";
+        let m = map(src);
+        assert!(m.is_test(1));
+        assert!(m.is_test(2));
+        assert!(!m.is_test(4));
+    }
+
+    #[test]
+    fn test_attr_on_fn() {
+        let src = "fn ship() {}\n#[test]\nfn check() {\n    body();\n}\nfn ship2() {}\n";
+        let m = map(src);
+        assert!(!m.is_test(1));
+        assert!(m.is_test(3));
+        assert!(m.is_test(4));
+        assert!(!m.is_test(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod tests {\n    fn h() {}\n}\n";
+        let m = map(src);
+        assert!(m.is_test(2));
+        assert!(m.is_test(3));
+    }
+
+    #[test]
+    fn cfg_feature_is_not_test() {
+        let src = "#[cfg(feature = \"testing\")]\nfn ship() {\n    body();\n}\n";
+        let m = map(src);
+        // The *string* "testing" must not be mistaken for the bare
+        // `test` predicate.
+        assert!(!m.is_test(2));
+        assert!(!m.is_test(3));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_stay_test() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn a() {\n        if x {\n            y();\n        }\n    }\n}\nfn ship() {}\n";
+        let m = map(src);
+        for l in 1..=8 {
+            assert!(m.is_test(l), "line {l}");
+        }
+        assert!(!m.is_test(9));
+    }
+
+    #[test]
+    fn whole_file_test_flag() {
+        let lexed = lex("fn anything() { body(); }");
+        let m = scope_map(&lexed.tokens, 2, true);
+        assert!(m.is_test(1));
+    }
+
+    #[test]
+    fn cfg_test_use_item_only_marks_itself() {
+        let src = "#[cfg(test)]\nuse crate::test_helpers::*;\nfn ship() {\n    body();\n}\n";
+        let m = map(src);
+        assert!(m.is_test(2));
+        assert!(!m.is_test(3));
+        assert!(!m.is_test(4));
+    }
+}

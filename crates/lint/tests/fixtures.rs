@@ -1,0 +1,216 @@
+//! Fixtures self-test: every rule fires on its known-bad snippet,
+//! the known-good file is clean, waivers suppress and go stale
+//! correctly. CI runs this suite by name — if a rule stops firing,
+//! this is what goes red.
+
+use cawo_lint::engine::{lint_source, Options};
+use cawo_lint::rules::{FileKind, RULES};
+
+fn fixture(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures");
+    std::fs::read_to_string(format!("{path}/{name}")).expect(name)
+}
+
+/// Lints a fixture under an explicit classification and returns the
+/// fired rule ids (sorted, deduped).
+fn fired(name: &str, krate: &str, kind: FileKind, strict: bool) -> Vec<String> {
+    let src = fixture(name);
+    let mut rules: Vec<String> = lint_source(name, krate, kind, &src, Options { strict })
+        .into_iter()
+        .map(|f| f.rule.to_string())
+        .collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+/// Asserts `name` (classified as `krate`/Lib) fires *exactly* the rule
+/// `rule` — nothing else, so fixtures can't mask cross-rule overfire.
+fn assert_fires_exactly(name: &str, krate: &str, strict: bool, rule: &str) {
+    let rules = fired(name, krate, FileKind::Lib, strict);
+    assert_eq!(rules, vec![rule.to_string()], "{name}");
+}
+
+#[test]
+fn wall_clock_fires() {
+    assert_fires_exactly("bad_wall_clock.rs", "core", false, "wall-clock");
+}
+
+#[test]
+fn thread_escape_fires() {
+    assert_fires_exactly("bad_thread_escape.rs", "core", false, "thread-escape");
+}
+
+#[test]
+fn hash_iter_fires() {
+    let src = fixture("bad_hash_iter.rs");
+    let findings = lint_source(
+        "bad_hash_iter.rs",
+        "core",
+        FileKind::Lib,
+        &src,
+        Options::default(),
+    );
+    // Both iteration shapes: `for … in map` and `.keys()`.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "hash-iter"));
+}
+
+#[test]
+fn panic_path_fires() {
+    let src = fixture("bad_panic_path.rs");
+    let findings = lint_source(
+        "bad_panic_path.rs",
+        "exact",
+        FileKind::Lib,
+        &src,
+        Options::default(),
+    );
+    // `.unwrap()` and `panic!`.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "panic-path"));
+}
+
+#[test]
+fn slice_index_fires_in_strict_only() {
+    assert_fires_exactly("bad_slice_index.rs", "lp", true, "slice-index");
+    let default_mode = fired("bad_slice_index.rs", "lp", FileKind::Lib, false);
+    assert!(
+        default_mode.is_empty(),
+        "slice-index must be strict-only: {default_mode:?}"
+    );
+}
+
+#[test]
+fn unsafe_code_fires() {
+    assert_fires_exactly("bad_unsafe_code.rs", "core", false, "unsafe-code");
+}
+
+#[test]
+fn safety_comment_fires() {
+    let src = fixture("bad_safety_comment.rs");
+    let findings = lint_source(
+        "bad_safety_comment.rs",
+        "par",
+        FileKind::Lib,
+        &src,
+        Options::default(),
+    );
+    // The undocumented `unsafe impl` and the undocumented block.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "safety-comment"));
+}
+
+#[test]
+fn print_hygiene_fires() {
+    assert_fires_exactly("bad_print_hygiene.rs", "graph", false, "print-hygiene");
+}
+
+#[test]
+fn unused_waiver_fires() {
+    assert_fires_exactly("unused_waiver.rs", "core", false, "unused-waiver");
+}
+
+#[test]
+fn waiver_without_reason_is_malformed_and_does_not_suppress() {
+    let src = fixture("bad_waiver_syntax.rs");
+    let findings = lint_source(
+        "bad_waiver_syntax.rs",
+        "exact",
+        FileKind::Lib,
+        &src,
+        Options::default(),
+    );
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    // The malformed waiver reports AND the unwrap it failed to cover
+    // still reports.
+    assert_eq!(rules, vec!["panic-path", "waiver-syntax"], "{findings:?}");
+}
+
+#[test]
+fn good_file_is_clean_in_default_and_strict_mode() {
+    for strict in [false, true] {
+        let src = fixture("good_clean.rs");
+        let findings = lint_source(
+            "good_clean.rs",
+            "core",
+            FileKind::Lib,
+            &src,
+            Options { strict },
+        );
+        assert!(findings.is_empty(), "strict={strict}: {findings:?}");
+    }
+}
+
+#[test]
+fn every_rule_has_a_fixture_assertion() {
+    // Keep this list in sync when adding a rule: the meta-test makes
+    // "add a rule but forget its fixture" fail loudly.
+    let covered = [
+        "wall-clock",
+        "thread-escape",
+        "hash-iter",
+        "panic-path",
+        "slice-index",
+        "unsafe-code",
+        "safety-comment",
+        "print-hygiene",
+        "unused-waiver",
+        "waiver-syntax",
+    ];
+    for r in RULES {
+        assert!(
+            covered.contains(&r.id),
+            "rule {} has no fixture assertion",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn test_scope_is_exempt() {
+    // The same violations inside #[cfg(test)] code produce nothing.
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    let findings = lint_source("t.rs", "exact", FileKind::Lib, src, Options::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn bin_targets_are_exempt_from_lib_rules() {
+    // Bins may print and unwrap (panic-path and print-hygiene are
+    // library rules); wall-clock still applies to bins.
+    let src = "fn main() {\n    println!(\"{:?}\", std::env::args().next().unwrap());\n    let _t = std::time::Instant::now();\n}\n";
+    let findings = lint_source("b.rs", "sim", FileKind::Bin, src, Options::default());
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["wall-clock"], "{findings:?}");
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // cawo-lint: allow(panic-path) — checked by caller\n}\n";
+    let findings = lint_source("t.rs", "exact", FileKind::Lib, src, Options::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn waiver_only_covers_named_rule() {
+    // A wall-clock waiver must not hide a panic on the same line.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // cawo-lint: allow(wall-clock) — wrong rule\n    x.unwrap()\n}\n";
+    let findings = lint_source("t.rs", "exact", FileKind::Lib, src, Options::default());
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    // The unwrap still reports, and the waiver is unused.
+    assert_eq!(rules, vec!["panic-path", "unused-waiver"], "{findings:?}");
+}
+
+#[test]
+fn strict_only_waiver_is_not_stale_in_default_mode() {
+    // A slice-index waiver must not count as unused when the rule
+    // didn't run.
+    let src = "fn f(xs: &[u64]) -> u64 {\n    // cawo-lint: allow(slice-index) — bounds checked above\n    xs[0]\n}\n";
+    let findings = lint_source("t.rs", "lp", FileKind::Lib, src, Options::default());
+    assert!(findings.is_empty(), "{findings:?}");
+    let strict = lint_source("t.rs", "lp", FileKind::Lib, src, Options { strict: true });
+    assert!(strict.is_empty(), "{strict:?}");
+}

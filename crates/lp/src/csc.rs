@@ -41,7 +41,7 @@ impl CscMatrix {
         values: Vec<f64>,
     ) -> Self {
         debug_assert!(!col_ptr.is_empty());
-        debug_assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
+        debug_assert_eq!(col_ptr.last().copied(), Some(row_idx.len()));
         debug_assert_eq!(row_idx.len(), values.len());
         let ncols = col_ptr.len() - 1;
         let mut out = CscMatrix {

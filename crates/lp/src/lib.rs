@@ -26,8 +26,6 @@
 //! suite in `cawo_exact` holds the two engines to bit-comparable
 //! objectives.
 
-#![warn(missing_docs)]
-
 pub mod csc;
 pub mod lu;
 pub mod model;

@@ -509,6 +509,8 @@ impl SimplexSolver {
 
     /// Runs the simplex from the current state.
     pub fn solve(&mut self, opts: &SimplexOptions) -> LpSolution {
+        // cawo-lint: allow(wall-clock) — opt-in time budget: `time_limit` is
+        // documented as non-reproducible; the default (None) never reads the clock.
         let deadline = opts.time_limit.map(|d| Instant::now() + d);
         // Bounds (or rows) may have changed since the last call, which
         // would invalidate any bound tracked then.
@@ -531,6 +533,8 @@ impl SimplexSolver {
         if self.lu.is_none() && self.refactor().is_err() {
             // A singular saved basis: restart cold (always factors).
             self.reset_basis();
+            // cawo-lint: allow(panic-path) — the all-slack basis is the
+            // identity matrix; its factorisation cannot fail.
             self.refactor().expect("slack basis is nonsingular");
         }
         self.compute_xb();
@@ -575,6 +579,7 @@ impl SimplexSolver {
             }
             if iterations.is_multiple_of(64) {
                 if let Some(d) = deadline {
+                    // cawo-lint: allow(wall-clock) — enforcing the opt-in time budget.
                     if Instant::now() >= d {
                         return self.finish(LpStatus::TimeLimit, iterations, stats);
                     }
@@ -625,6 +630,8 @@ impl SimplexSolver {
                 if devex.is_none() {
                     devex = Some(self.devex_build());
                 }
+                // cawo-lint: allow(panic-path) — the None arm directly
+                // above populated the option.
                 let dv = devex.as_mut().expect("just built");
                 if dv.max_gamma > DEVEX_RESET {
                     // Reference-framework reset: the current nonbasic
@@ -883,6 +890,8 @@ impl SimplexSolver {
                                 // it will not now, restart cold as the
                                 // last resort.
                                 self.reset_basis();
+                                // cawo-lint: allow(panic-path) — the all-slack basis is the
+                                // identity matrix; its factorisation cannot fail.
                                 self.refactor().expect("slack basis is nonsingular");
                             }
                             stats.refactors += 1;
@@ -984,6 +993,8 @@ impl SimplexSolver {
                 VStat::AtLower => dj >= -slack_tol,
                 VStat::AtUpper => dj <= slack_tol,
                 VStat::Free => dj.abs() <= slack_tol,
+                // cawo-lint: allow(panic-path) — callers iterate nonbasic
+                // columns only; a basic column here is a corrupt basis.
                 VStat::Basic => unreachable!(),
             };
             if !ok {
@@ -1002,6 +1013,7 @@ impl SimplexSolver {
             }
             if iterations.is_multiple_of(64) {
                 if let Some(dl) = deadline {
+                    // cawo-lint: allow(wall-clock) — enforcing the opt-in time budget.
                     if Instant::now() >= dl {
                         return;
                     }
@@ -1066,6 +1078,8 @@ impl SimplexSolver {
                     VStat::AtLower => ahat > 0.0,
                     VStat::AtUpper => ahat < 0.0,
                     VStat::Free => true,
+                    // cawo-lint: allow(panic-path) — callers iterate nonbasic
+                    // columns only; a basic column here is a corrupt basis.
                     VStat::Basic => unreachable!(),
                 };
                 if !eligible {
@@ -1099,6 +1113,9 @@ impl SimplexSolver {
                 // update restores their signs.
                 bps.sort_unstable_by(|a, b| {
                     a.0.partial_cmp(&b.0)
+                        // cawo-lint: allow(panic-path) — breakpoint ratios
+                        // are finite by construction (denominators pass the
+                        // pivot tolerance); NaN would corrupt the pass.
                         .expect("ratios are finite")
                         .then(a.1.cmp(&b.1))
                 });
@@ -1126,6 +1143,8 @@ impl SimplexSolver {
                         let (delta, to) = match self.vstat[j] {
                             VStat::AtLower => (self.hi[j] - self.lo[j], VStat::AtUpper),
                             VStat::AtUpper => (self.lo[j] - self.hi[j], VStat::AtLower),
+                            // cawo-lint: allow(panic-path) — callers iterate nonbasic
+                            // columns only; a basic column here is a corrupt basis.
                             _ => unreachable!("only boxed columns are flipped"),
                         };
                         if j < self.n {
@@ -1196,6 +1215,8 @@ impl SimplexSolver {
                     self.vstat[q] = entering_status;
                     if self.refactor().is_err() {
                         self.reset_basis();
+                        // cawo-lint: allow(panic-path) — the all-slack basis is the
+                        // identity matrix; its factorisation cannot fail.
                         self.refactor().expect("slack basis is nonsingular");
                     }
                     stats.refactors += 1;
@@ -1290,6 +1311,8 @@ impl SimplexSolver {
                     VStat::AtLower => -dj,
                     VStat::AtUpper => dj,
                     VStat::Free => dj.abs(),
+                    // cawo-lint: allow(panic-path) — callers iterate nonbasic
+                    // columns only; a basic column here is a corrupt basis.
                     VStat::Basic => unreachable!(),
                 };
                 if viol > opts.dual_tol {
@@ -1585,6 +1608,8 @@ impl SimplexSolver {
             VStat::AtLower => -d,
             VStat::AtUpper => d,
             VStat::Free => d.abs(),
+            // cawo-lint: allow(panic-path) — callers iterate nonbasic
+            // columns only; a basic column here is a corrupt basis.
             VStat::Basic => unreachable!(),
         };
         (viol > opts.dual_tol).then_some((viol, d, j))
@@ -1653,6 +1678,8 @@ impl SimplexSolver {
             VStat::AtLower => self.lo[j],
             VStat::AtUpper => self.hi[j],
             VStat::Free => 0.0,
+            // cawo-lint: allow(panic-path) — callers iterate nonbasic
+            // columns only; a basic column here is a corrupt basis.
             VStat::Basic => unreachable!("nonbasic_value of a basic column"),
         }
     }
@@ -1687,6 +1714,8 @@ impl SimplexSolver {
     fn refresh(&mut self) {
         if self.refactor().is_err() {
             self.reset_basis();
+            // cawo-lint: allow(panic-path) — the all-slack basis is the
+            // identity matrix; its factorisation cannot fail.
             self.refactor().expect("slack basis is nonsingular");
         }
         self.compute_xb();

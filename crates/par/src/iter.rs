@@ -53,10 +53,10 @@ where
     let queue = Mutex::new(queue);
     let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(n_chunks));
     let work = || loop {
-        let chunk = queue.lock().unwrap().pop_front();
+        let chunk = queue.lock().expect("lock poisoned").pop_front();
         let Some((idx, chunk)) = chunk else { break };
         let out = per_chunk(chunk);
-        results.lock().unwrap().push((idx, out));
+        results.lock().expect("lock poisoned").push((idx, out));
     };
     scope(|s| {
         // One drainer per pool thread; the calling thread drains too.
@@ -65,7 +65,7 @@ where
         }
         work();
     });
-    let mut tagged = results.into_inner().unwrap();
+    let mut tagged = results.into_inner().expect("lock poisoned");
     tagged.sort_unstable_by_key(|&(idx, _)| idx);
     tagged.into_iter().flat_map(|(_, v)| v).collect()
 }

@@ -49,6 +49,9 @@ where
     let mut rb_slot: Option<std::thread::Result<RB>> = None;
     let ra = {
         struct SendPtr<T>(*mut T);
+        // SAFETY: the pointer targets `rb_slot` on this stack frame,
+        // which outlives the job (see below); exactly one thread — the
+        // thief or the reclaiming caller — ever dereferences it.
         unsafe impl<T> Send for SendPtr<T> {}
         let slot = SendPtr(&mut rb_slot);
         let latch_ref = &latch;
@@ -68,14 +71,14 @@ where
         });
         let runner = stealable.clone();
         registry.inject(Box::new(move || {
-            let job = runner.job.lock().unwrap().take();
+            let job = runner.job.lock().expect("lock poisoned").take();
             if let Some(job) = job {
                 job();
             }
         }));
 
         let ra = catch_unwind(AssertUnwindSafe(oper_a));
-        let reclaimed = stealable.job.lock().unwrap().take();
+        let reclaimed = stealable.job.lock().expect("lock poisoned").take();
         match reclaimed {
             // Nobody stole b: run it inline (sets the latch).
             Some(job) => job(),

@@ -171,16 +171,16 @@ impl Registry {
                 ctx.registry.workers[ctx.index]
                     .deque
                     .lock()
-                    .unwrap()
+                    .expect("lock poisoned")
                     .push_back(job);
                 None
             }
             _ => Some(job),
         });
         if let Some(job) = job {
-            self.injector.lock().unwrap().push_back(job);
+            self.injector.lock().expect("lock poisoned").push_back(job);
         }
-        let mut s = self.sleep.lock().unwrap();
+        let mut s = self.sleep.lock().expect("lock poisoned");
         s.epoch += 1;
         drop(s);
         self.wake.notify_all();
@@ -190,11 +190,16 @@ impl Registry {
     /// steal rotation over the other workers (front).
     fn find_work(&self, own: Option<usize>) -> Option<Job> {
         if let Some(i) = own {
-            if let Some(j) = self.workers[i].deque.lock().unwrap().pop_back() {
+            if let Some(j) = self.workers[i]
+                .deque
+                .lock()
+                .expect("lock poisoned")
+                .pop_back()
+            {
                 return Some(j);
             }
         }
-        if let Some(j) = self.injector.lock().unwrap().pop_front() {
+        if let Some(j) = self.injector.lock().expect("lock poisoned").pop_front() {
             return Some(j);
         }
         let n = self.workers.len();
@@ -204,7 +209,12 @@ impl Registry {
             if Some(t) == own {
                 continue;
             }
-            if let Some(j) = self.workers[t].deque.lock().unwrap().pop_front() {
+            if let Some(j) = self.workers[t]
+                .deque
+                .lock()
+                .expect("lock poisoned")
+                .pop_front()
+            {
                 return Some(j);
             }
         }
@@ -236,7 +246,7 @@ impl Registry {
     /// `Drop`). Pending jobs are discarded — by construction only
     /// already-claimed join tombstones can still be queued then.
     pub(crate) fn terminate(&self) {
-        let mut s = self.sleep.lock().unwrap();
+        let mut s = self.sleep.lock().expect("lock poisoned");
         s.shutdown = true;
         drop(s);
         self.wake.notify_all();
@@ -255,7 +265,7 @@ impl Registry {
                 job();
                 continue;
             }
-            let s = registry.sleep.lock().unwrap();
+            let s = registry.sleep.lock().expect("lock poisoned");
             if s.shutdown {
                 return;
             }
@@ -267,7 +277,7 @@ impl Registry {
                 job();
                 continue;
             }
-            let s = registry.sleep.lock().unwrap();
+            let s = registry.sleep.lock().expect("lock poisoned");
             if s.shutdown {
                 return;
             }
@@ -304,14 +314,14 @@ impl Latch {
     pub(crate) fn set(&self) {
         // The empty critical section orders the store against a waiter
         // that checked `done` and is about to park.
-        let _g = self.lock.lock().unwrap();
+        let _g = self.lock.lock().expect("lock poisoned");
         self.done.store(true, Ordering::Release);
         drop(_g);
         self.cv.notify_all();
     }
 
     fn wait_timeout(&self, d: Duration) {
-        let g = self.lock.lock().unwrap();
+        let g = self.lock.lock().expect("lock poisoned");
         if !self.done.load(Ordering::Acquire) {
             let _ = self.cv.wait_timeout(g, d);
         }

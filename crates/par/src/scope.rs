@@ -52,6 +52,9 @@ impl<'scope> Scope<'scope> {
         }
         self.pending.fetch_add(1, Ordering::SeqCst);
         struct ScopePtr<'s>(*const Scope<'s>);
+        // SAFETY: the pointer targets the `Scope` owned by the
+        // enclosing `scope` call, which blocks until `pending` reaches
+        // zero — every spawned job finishes before the Scope drops.
         unsafe impl Send for ScopePtr<'_> {}
         let ptr = ScopePtr(self as *const Scope<'scope>);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
@@ -61,7 +64,7 @@ impl<'scope> Scope<'scope> {
             let scope: &Scope<'scope> = unsafe { &*ptr.0 };
             let r = catch_unwind(AssertUnwindSafe(|| body(scope)));
             if let Err(p) = r {
-                let mut slot = scope.panic.lock().unwrap();
+                let mut slot = scope.panic.lock().expect("lock poisoned");
                 slot.get_or_insert(p);
             }
             scope.complete_job();
@@ -125,7 +128,7 @@ where
     match result {
         Err(p) => resume_unwind(p),
         Ok(r) => {
-            if let Some(p) = s.panic.lock().unwrap().take() {
+            if let Some(p) = s.panic.lock().expect("lock poisoned").take() {
                 resume_unwind(p);
             }
             r

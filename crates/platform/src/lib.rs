@@ -12,8 +12,6 @@
 //!
 //! All quantities are integer multiples of the paper's time/power units.
 
-#![warn(missing_docs)]
-
 pub mod cluster;
 pub mod processor;
 pub mod profile;

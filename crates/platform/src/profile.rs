@@ -184,7 +184,7 @@ impl ProfileConfig {
         let mut clean_b = vec![0 as Time];
         let mut clean_g = Vec::new();
         for k in 0..j {
-            if boundaries[k + 1] > *clean_b.last().unwrap() {
+            if boundaries[k + 1] > *clean_b.last().expect("seeded with 0") {
                 clean_b.push(boundaries[k + 1]);
                 clean_g.push(budgets[k]);
             }
@@ -411,12 +411,12 @@ impl TraceConfig {
             let b = ((end - t0) as u128 * horizon as u128 / span as u128) as Time;
             // The last sample maps exactly onto the horizon; samples
             // squeezed to zero length by the rescaling are dropped.
-            if b > *boundaries.last().unwrap() {
+            if b > *boundaries.last().expect("seeded with 0") {
                 boundaries.push(b);
                 budgets.push(budget_of(v));
             }
         }
-        debug_assert_eq!(*boundaries.last().unwrap(), horizon);
+        debug_assert_eq!(boundaries.last().copied(), Some(horizon));
         Ok(PowerProfile::from_parts(boundaries, budgets))
     }
 }
@@ -454,7 +454,10 @@ impl PowerProfile {
 
     /// The deadline `T` (end of the horizon).
     pub fn deadline(&self) -> Time {
-        *self.boundaries.last().unwrap()
+        *self
+            .boundaries
+            .last()
+            .expect("profiles always have at least one boundary")
     }
 
     /// Number of intervals `J`.

@@ -82,6 +82,7 @@ impl ObsArgs {
     }
 }
 
+#[allow(clippy::exit)] // a CLI's usage/error path legitimately exits
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2)

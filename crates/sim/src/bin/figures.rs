@@ -180,6 +180,7 @@ fn fig17(results: &[SpecResult]) {
     }
 }
 
+#[allow(clippy::exit)] // a CLI's usage/error path legitimately exits
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2)
@@ -321,8 +322,8 @@ fn fig1(results: &[SpecResult]) {
     println!("ASAP ranked last on {:.2}% of instances", 100.0 * asap_last);
     let (best_alg, best_first) = (0..algs.len())
         .map(|a| (algs[a], dist[a][0]))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one algorithm");
     println!(
         "most-frequent rank-1: {} ({:.2}%)",
         best_alg,

@@ -40,6 +40,9 @@ impl ExactCmpResult {
             .iter()
             .find(|&&(hv, _)| hv == v)
             .map(|&(_, c)| c)
+            // cawo-lint: allow(panic-path) — rows hold one entry per
+            // compared variant; querying an uncompared variant is a bug
+            // in the caller's report wiring.
             .expect("variant was compared");
         if h == self.optimal {
             1.0

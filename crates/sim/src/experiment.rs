@@ -13,7 +13,7 @@
 //! run as first-class columns next to the heuristics
 //! ([`ExperimentConfig::solvers`]) with a per-row outcome status.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ use cawo_platform::{
 };
 
 /// Which of the two paper platforms an instance runs on (§6.1, Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ClusterKind {
     /// 12 nodes per type (72 total).
     Small,
@@ -369,6 +369,8 @@ impl SpecResult {
             .variants
             .iter()
             .position(|&x| x == v)
+            // cawo-lint: allow(panic-path) — accessors are keyed by the
+            // same `cfg.variants` list the row was built from.
             .expect("variant was run");
         self.cost[i]
     }
@@ -379,6 +381,8 @@ impl SpecResult {
             .variants
             .iter()
             .position(|&x| x == v)
+            // cawo-lint: allow(panic-path) — accessors are keyed by the
+            // same `cfg.variants` list the row was built from.
             .expect("variant was run");
         self.millis[i]
     }
@@ -422,6 +426,8 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<SpecResult> {
         n => rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build()
+            // cawo-lint: allow(panic-path) — cawo_par's builder only
+            // errors on OS thread-spawn failure, which is fatal anyway.
             .expect("pool construction cannot fail")
             .install(|| run_grid_inner(cfg)),
     }
@@ -452,11 +458,14 @@ fn run_grid_inner(cfg: &ExperimentConfig) -> Vec<SpecResult> {
         .iter()
         .map(|s| (s.family, s.scaled_to, s.cluster))
         .collect();
-    keys.sort_by_key(|k| (k.0 as u8, k.1, matches!(k.2, ClusterKind::Large)));
+    keys.sort_unstable();
     keys.dedup();
 
+    // BTreeMap, not HashMap: the map is only ever indexed today, but an
+    // ordered container keeps any future iteration deterministic by
+    // construction (docs/CONCURRENCY.md).
     type PreparedKey = (Family, Option<usize>, ClusterKind);
-    let prepared: HashMap<PreparedKey, Arc<(Instance, Cluster)>> = keys
+    let prepared: BTreeMap<PreparedKey, Arc<(Instance, Cluster)>> = keys
         .par_iter()
         .map(|&(family, scaled_to, ck)| {
             let _s = cawo_obs::span("grid", "prepare_instance");
@@ -478,7 +487,7 @@ fn run_grid_inner(cfg: &ExperimentConfig) -> Vec<SpecResult> {
                 Err(e) => {
                     // One broken instance (typically an unloadable trace)
                     // must not take down the grid: skip it loudly.
-                    eprintln!("warning: skipping {e}");
+                    cawo_obs::warn(&format!("skipping {e}"));
                     None
                 }
             }
@@ -544,6 +553,8 @@ pub fn run_one(
         ..RunParams::default()
     };
     let run_variant = |&v: &Variant| {
+        // cawo-lint: allow(wall-clock) — measures elapsed runtime for the
+        // report's timing column; never feeds schedules or costs.
         let t0 = Instant::now();
         let sched = v.run_with(inst, &profile, params);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
@@ -559,6 +570,8 @@ pub fn run_one(
         }
     };
     let run_solver = |&kind: &SolverKind| {
+        // cawo-lint: allow(wall-clock) — measures elapsed runtime for the
+        // report's timing column; never feeds schedules or costs.
         let t0 = Instant::now();
         // Route through the shared solve cache when one is configured:
         // an identical earlier row is a lookup, a same-workflow row

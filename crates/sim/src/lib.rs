@@ -16,8 +16,6 @@
 //! The `figures` binary maps every paper artifact id (`table1`, `fig1`,
 //! …, `fig17`) to the code that regenerates its rows/series.
 
-#![warn(missing_docs)]
-
 pub mod des;
 pub mod exactcmp;
 pub mod experiment;

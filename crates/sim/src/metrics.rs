@@ -9,7 +9,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metric samples"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     Some(if n % 2 == 1 {
         v[n / 2]
@@ -69,6 +69,8 @@ pub fn performance_ratios(per_instance_costs: &[Vec<Cost>], alg: usize) -> Vec<f
     per_instance_costs
         .iter()
         .map(|costs| {
+            // cawo-lint: allow(panic-path) — a grid row always carries
+            // at least one algorithm column.
             let best = *costs.iter().min().expect("at least one algorithm");
             let own = costs[alg];
             if own == best {
@@ -136,7 +138,7 @@ pub fn boxplot(values: &[f64]) -> Option<BoxplotStats> {
         return None;
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metric samples"));
+    v.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         let idx = p * (v.len() - 1) as f64;
         let lo = idx.floor() as usize;
@@ -151,8 +153,14 @@ pub fn boxplot(values: &[f64]) -> Option<BoxplotStats> {
     let iqr = q3 - q1;
     let lo_fence = q1 - 1.5 * iqr;
     let hi_fence = q3 + 1.5 * iqr;
-    let lo_whisker = *v.iter().find(|&&x| x >= lo_fence).unwrap();
-    let hi_whisker = *v.iter().rev().find(|&&x| x <= hi_fence).unwrap();
+    let lo_found = v.iter().find(|&&x| x >= lo_fence);
+    let hi_found = v.iter().rev().find(|&&x| x <= hi_fence);
+    // cawo-lint: allow(panic-path) — lo_fence <= q1 and q1 is itself a
+    // sample, so a qualifying element exists.
+    let lo_whisker = *lo_found.expect("fence brackets q1");
+    // cawo-lint: allow(panic-path) — hi_fence >= q3 and q3 is itself a
+    // sample, so a qualifying element exists.
+    let hi_whisker = *hi_found.expect("fence brackets q3");
     let outliers = v
         .iter()
         .copied()

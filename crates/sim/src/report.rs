@@ -18,18 +18,19 @@ pub struct Series {
 
 /// Renders series as a column-aligned table with an x-axis column.
 pub fn series_table(x_label: &str, xs: &[String], series: &[Series]) -> String {
+    // `fmt::Write` into a String cannot fail; the Results are dropped.
     let mut out = String::new();
-    write!(out, "{:<12}", x_label).unwrap();
+    let _ = write!(out, "{:<12}", x_label);
     for s in series {
-        write!(out, " {:>12}", truncate(&s.name, 12)).unwrap();
+        let _ = write!(out, " {:>12}", truncate(&s.name, 12));
     }
     out.push('\n');
     for (i, x) in xs.iter().enumerate() {
-        write!(out, "{:<12}", truncate(x, 12)).unwrap();
+        let _ = write!(out, "{:<12}", truncate(x, 12));
         for s in series {
             match s.values.get(i) {
-                Some(v) => write!(out, " {:>12.4}", v).unwrap(),
-                None => write!(out, " {:>12}", "-").unwrap(),
+                Some(v) => drop(write!(out, " {:>12.4}", v)),
+                None => drop(write!(out, " {:>12}", "-")),
             }
         }
         out.push('\n');
@@ -42,7 +43,7 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push('|');
     for h in headers {
-        write!(out, " {h} |").unwrap();
+        let _ = write!(out, " {h} |");
     }
     out.push('\n');
     out.push('|');
@@ -53,7 +54,7 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     for row in rows {
         out.push('|');
         for cell in row {
-            write!(out, " {cell} |").unwrap();
+            let _ = write!(out, " {cell} |");
         }
         out.push('\n');
     }
@@ -162,7 +163,7 @@ pub fn render_gantt(
         };
         out.push_str(&label);
         out.push(' ');
-        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push_str(&String::from_utf8_lossy(&row));
         out.push('\n');
     }
     // Budget sparkline.

@@ -13,6 +13,9 @@
 //!
 //! A scaled-down version of the same path runs everywhere.
 
+// Test code may unwrap freely (policy: clippy.toml); integration-test
+// crates need the explicit allow because they are not cfg(test).
+#![allow(clippy::unwrap_used)]
 use cawo_core::Variant;
 use cawo_exact::{Budget, SolverKind};
 use cawo_graph::generator::{self, Family, PaperInstance};

@@ -53,7 +53,7 @@ fn main() {
             best = Some((v, cost, sched));
         }
     }
-    let (bv, bc, bs) = best.unwrap();
+    let (bv, bc, bs) = best.expect("the variant list is non-empty");
     println!("\nbest heuristic: {} at cost {bc}", bv.name());
 
     let res = solve_exact(

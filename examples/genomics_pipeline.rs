@@ -42,7 +42,7 @@ fn main() {
         for v in Variant::CAWOSCHED {
             let sched = v.run(&inst, &profile);
             let cost = carbon_cost(&inst, &sched, &profile);
-            if best.is_none() || cost < best.unwrap().1 {
+            if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((v, cost));
             }
             println!(
@@ -52,7 +52,7 @@ fn main() {
                 cost as f64 / baseline_cost.max(1) as f64
             );
         }
-        let (bv, bc) = best.unwrap();
+        let (bv, bc) = best.expect("CAWOSCHED is non-empty");
         println!(
             "  -> best: {} saves {:.1}% of the baseline's carbon cost\n",
             bv.name(),

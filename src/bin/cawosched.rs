@@ -123,6 +123,7 @@ const USAGE: &str = "usage:
   --log-level (or the CAWO_LOG env var) sets the recording level
   explicitly.";
 
+#[allow(clippy::exit)] // a CLI's usage/error path legitimately exits
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2)
@@ -352,6 +353,8 @@ fn schedule_cmd(o: &Options) {
     let mut answer = None;
     for it in 1..=o.repeat {
         let _s = cawo_obs::span("cli", "query");
+        // cawo-lint: allow(wall-clock) — measures elapsed runtime for the
+        // CLI's timing printout; never feeds schedules or costs.
         let t0 = Instant::now();
         let (label, sched, cost, outcome) = match o.solvers.first() {
             Some(&kind) => {

@@ -49,8 +49,6 @@
 //! assert!(carbon_cost(&inst, &sched, &profile) <= baseline_cost);
 //! ```
 
-#![warn(missing_docs)]
-
 pub use cawo_cache as cache;
 pub use cawo_core as core;
 pub use cawo_exact as exact;
